@@ -1,0 +1,321 @@
+// Benchmarks regenerating the measured quantity behind each table and
+// figure of the paper's evaluation (§8), one benchmark per artifact:
+//
+//	BenchmarkFig7Update      — update latency per scheme (Figure 7)
+//	BenchmarkFig8IndexRead   — exact-match index read latency (Figure 8)
+//	BenchmarkFig9Range       — range-query latency vs selectivity (Figure 9)
+//	BenchmarkFig10ScaleOut   — update latency, base vs 5x cluster (Figure 10)
+//	BenchmarkFig11Staleness  — async staleness percentiles (Figure 11)
+//	BenchmarkTable2IOCost    — per-op I/O counts per scheme (Table 2)
+//	BenchmarkScanVsIndex     — query-by-index vs full scan (§8.2)
+//	BenchmarkRecoveryDrain   — drain-before-flush cost (§5.3)
+//
+// ns/op carries the simulated network and disk latencies, so the RATIOS
+// between schemes — not the absolute values — are the result; they should
+// match the paper's shape (sync-insert ≈ 2× a bare put, sync-full ≈ 5×,
+// async ≈ 1× at low load; sync-insert reads pay a base read per row).
+// Full latency-vs-throughput sweeps live in cmd/diffbench.
+package diffindex_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+const (
+	benchRecords = 800
+	benchServers = 4
+)
+
+// benchOptions is the ms-scale latency model: a bare put ≈ RTT + WAL sync
+// ≈ 3 ms, a disk-bound base read ≈ 8 ms — the same ratios as the paper's
+// testbed (and coarse enough for this platform's sleep granularity).
+func benchOptions() diffindex.Options {
+	return diffindex.Options{
+		Servers:         benchServers,
+		NetRTT:          2 * time.Millisecond,
+		NetJitter:       time.Millisecond,
+		DiskReadLatency: 8 * time.Millisecond,
+		DiskSyncLatency: time.Millisecond,
+		BlockCacheBytes: 512 << 10,
+		MemtableBytes:   1 << 20,
+		APSWorkers:      4,
+	}
+}
+
+// benchDB loads the extended-YCSB item table with the given index schemes
+// (-1 = no index) and flushes so reads are disk-bound.
+func benchDB(b *testing.B, titleScheme, priceScheme int) *diffindex.DB {
+	b.Helper()
+	db := diffindex.Open(benchOptions())
+	if err := workload.Setup(db, benchRecords, benchServers, titleScheme, priceScheme, 8); err != nil {
+		db.Close()
+		b.Fatal(err)
+	}
+	if !db.WaitForIndexes(2 * time.Minute) {
+		db.Close()
+		b.Fatal("indexes did not converge after load")
+	}
+	if err := db.FlushAll(); err != nil {
+		db.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+var updateSchemes = []struct {
+	name   string
+	scheme int
+}{
+	{"null", -1},
+	{"insert", int(diffindex.SyncInsert)},
+	{"full", int(diffindex.SyncFull)},
+	{"async", int(diffindex.AsyncSimple)},
+}
+
+// BenchmarkFig7Update measures one value-changing update per iteration —
+// Figure 7's y-axis at the single-client operating point.
+func BenchmarkFig7Update(b *testing.B) {
+	for _, s := range updateSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db := benchDB(b, s.scheme, -1)
+			cl := db.NewClient("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				item := int64(i) % benchRecords
+				_, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+					workload.TitleColumn: workload.UpdatedTitleValue(item, int64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			db.WaitForIndexes(2 * time.Minute)
+		})
+	}
+}
+
+// BenchmarkFig8IndexRead measures one exact-match getByIndex (1 row) per
+// iteration with a warmed cache — Figure 8's y-axis.
+func BenchmarkFig8IndexRead(b *testing.B) {
+	for _, s := range updateSchemes[1:] { // full, insert, async
+		b.Run(s.name, func(b *testing.B) {
+			db := benchDB(b, s.scheme, -1)
+			cl := db.NewClient("bench")
+			// Warm the block cache (§8.1).
+			for i := int64(0); i < benchRecords; i += 7 {
+				if _, err := cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.TitleValue(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				item := int64(i*131) % benchRecords
+				hits, err := cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.TitleValue(item))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(hits) != 1 {
+					b.Fatalf("got %d hits", len(hits))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Range measures one range query per iteration at each
+// selectivity — Figure 9's sweep.
+func BenchmarkFig9Range(b *testing.B) {
+	for _, s := range []struct {
+		name   string
+		scheme int
+	}{
+		{"full", int(diffindex.SyncFull)},
+		{"insert", int(diffindex.SyncInsert)},
+	} {
+		for _, sel := range []float64{0.001, 0.01, 0.1} {
+			b.Run(fmt.Sprintf("%s/sel=%.3f", s.name, sel), func(b *testing.B) {
+				db := benchDB(b, -1, s.scheme)
+				cl := db.NewClient("bench")
+				span := int64(sel * benchRecords)
+				if span < 1 {
+					span = 1
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lo := (int64(i) * 37) % (benchRecords - span)
+					hits, err := cl.RangeByIndex(workload.TableName, []string{workload.PriceColumn},
+						workload.PriceValue(lo), workload.PriceValue(lo+span-1), 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if int64(len(hits)) != span {
+						b.Fatalf("got %d hits, want %d", len(hits), span)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10ScaleOut measures the update op on the base cluster and on
+// a 5x cluster with the degraded virtualized I/O profile — Figure 10's
+// comparison. Sub-linear per-op slowdown on the larger cluster is the
+// expected shape.
+func BenchmarkFig10ScaleOut(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		servers int
+		factor  time.Duration // disk degradation multiplier
+		records int64
+	}{
+		{"base4", benchServers, 1, benchRecords},
+		{"cloud20", benchServers * 5, 2, benchRecords * 5},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			opts := benchOptions()
+			opts.Servers = c.servers
+			opts.DiskReadLatency *= c.factor
+			opts.DiskWriteLatency *= c.factor
+			opts.DiskSyncLatency *= c.factor
+			db := diffindex.Open(opts)
+			if err := workload.Setup(db, c.records, c.servers, int(diffindex.SyncInsert), -1, 16); err != nil {
+				db.Close()
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			cl := db.NewClient("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				item := int64(i) % c.records
+				if _, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+					workload.TitleColumn: workload.UpdatedTitleValue(item, int64(i)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Staleness measures update throughput under async while
+// reporting the staleness percentiles (T2−T1) as custom metrics — the
+// quantity Figure 11 plots.
+func BenchmarkFig11Staleness(b *testing.B) {
+	db := benchDB(b, int(diffindex.AsyncSimple), -1)
+	cl := db.NewClient("bench")
+	db.ResetStaleness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		item := int64(i) % benchRecords
+		if _, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+			workload.TitleColumn: workload.UpdatedTitleValue(item, int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !db.WaitForIndexes(2 * time.Minute) {
+		b.Fatal("no convergence")
+	}
+	st := db.Staleness()
+	b.ReportMetric(float64(st.P50)/1e3, "staleness-p50-us")
+	b.ReportMetric(float64(st.P95)/1e3, "staleness-p95-us")
+	b.ReportMetric(float64(st.Max)/1e3, "staleness-max-us")
+}
+
+// BenchmarkTable2IOCost measures per-update I/O counts per scheme and
+// reports them as custom metrics — Table 2 by measurement.
+func BenchmarkTable2IOCost(b *testing.B) {
+	for _, s := range updateSchemes[1:] {
+		b.Run(s.name, func(b *testing.B) {
+			db := benchDB(b, s.scheme, -1)
+			cl := db.NewClient("bench")
+			before := db.IOCounts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				item := int64(i) % benchRecords
+				if _, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+					workload.TitleColumn: workload.UpdatedTitleValue(item, int64(i)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			db.WaitForIndexes(2 * time.Minute)
+			d := db.IOCounts()
+			n := float64(b.N)
+			b.ReportMetric(float64(d.BaseRead-before.BaseRead)/n, "base-reads/op")
+			b.ReportMetric(float64(d.IndexPut-before.IndexPut+d.IndexDel-before.IndexDel)/n, "index-writes/op")
+			b.ReportMetric(float64(d.AsyncBaseRead-before.AsyncBaseRead)/n, "async-base-reads/op")
+			b.ReportMetric(float64(d.AsyncIndexPut-before.AsyncIndexPut+d.AsyncIndexDel-before.AsyncIndexDel)/n, "async-index-writes/op")
+		})
+	}
+}
+
+// BenchmarkScanVsIndex measures the same selective query answered by the
+// global index vs a full table scan — the §8.2 reference comparison.
+func BenchmarkScanVsIndex(b *testing.B) {
+	db := benchDB(b, int(diffindex.SyncFull), -1)
+	cl := db.NewClient("bench")
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			item := int64(i*17) % benchRecords
+			hits, err := cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.TitleValue(item))
+			if err != nil || len(hits) != 1 {
+				b.Fatalf("hits=%d err=%v", len(hits), err)
+			}
+		}
+	})
+	b.Run("tablescan", func(b *testing.B) {
+		probe := string(workload.TitleValue(benchRecords / 2))
+		for i := 0; i < b.N; i++ {
+			rows, err := cl.Scan(workload.TableName, nil, nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			matches := 0
+			for _, row := range rows {
+				if string(row.Cols[workload.TitleColumn]) == probe {
+					matches++
+				}
+			}
+			if matches != 1 {
+				b.Fatalf("matches=%d", matches)
+			}
+		}
+	})
+}
+
+// BenchmarkRecoveryDrain measures a region flush including the
+// drain-AUQ-before-flush step under a standing async backlog — the §5.3
+// overhead the paper argues is acceptable.
+func BenchmarkRecoveryDrain(b *testing.B) {
+	db := benchDB(b, int(diffindex.AsyncSimple), -1)
+	cl := db.NewClient("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Build a small backlog, then time the flush that must drain it.
+		for j := int64(0); j < 64; j++ {
+			item := (int64(i)*64 + j) % benchRecords
+			cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+				workload.TitleColumn: workload.UpdatedTitleValue(item, int64(i*1000+int(j))),
+			})
+		}
+		b.StartTimer()
+		if err := db.FlushAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if db.PendingIndexUpdates() != 0 {
+		b.Fatal("AUQ not drained by flush")
+	}
+}

@@ -1,0 +1,94 @@
+// Command diffbench regenerates the paper's evaluation artifacts (Table 2,
+// Figures 7-11, the async-vs-sync-full peak comparison, the
+// query-by-index-vs-scan measurement and the §5.3 recovery numbers) against
+// the simulated cluster.
+//
+// Usage:
+//
+//	diffbench [-experiment all|<id>] [-profile small|paper]
+//	          [-format table|csv] [-list]
+//
+// Absolute latencies come from the calibrated ms-scale simulation (disk
+// seeks, LAN RPCs); the reports carry notes comparing each measured shape
+// to the paper's claim. See EXPERIMENTS.md for the recorded comparison and
+// `-list` for all experiment IDs.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"diffindex/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID, or 'all'")
+		profile    = flag.String("profile", "small", "environment profile: small | paper")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		format     = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var p bench.Profile
+	switch *profile {
+	case "small":
+		p = bench.Small()
+	case "paper":
+		p = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want small or paper)\n", *profile)
+		os.Exit(2)
+	}
+
+	var exps []bench.Experiment
+	if *experiment == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, err := bench.Find(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	if *format == "table" {
+		fmt.Printf("diffbench: profile=%s servers=%d records=%d\n\n", p.Name, p.Servers, p.Records)
+	}
+	for _, e := range exps {
+		start := time.Now()
+		rep, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			// One CSV block per experiment, ready for plotting tools: the
+			// experiment ID is prefixed as the first column.
+			w := csv.NewWriter(os.Stdout)
+			w.Write(append([]string{"experiment"}, rep.Header...))
+			for _, row := range rep.Rows {
+				w.Write(append([]string{rep.ID}, row...))
+			}
+			w.Flush()
+			for _, n := range rep.Notes {
+				fmt.Printf("# %s\n", n)
+			}
+		default:
+			fmt.Println(rep.String())
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command ycsbload runs the extended-YCSB workload (§8.1) standalone: it
+// builds a cluster, loads the item table with the chosen index scheme, runs
+// a configurable operation mix, and prints throughput, latency percentiles
+// and (for async schemes) index staleness.
+//
+// Example:
+//
+//	ycsbload -records 10000 -threads 16 -duration 5s -scheme async-simple \
+//	         -updates 0.8 -indexreads 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+func main() {
+	var (
+		servers     = flag.Int("servers", 4, "region servers")
+		records     = flag.Int64("records", 10000, "item rows to load")
+		threads     = flag.Int("threads", 8, "client threads")
+		duration    = flag.Duration("duration", 3*time.Second, "measured run time")
+		targetTPS   = flag.Float64("target-tps", 0, "throttle aggregate TPS (0 = unthrottled)")
+		schemeName  = flag.String("scheme", "sync-insert", "index scheme: none | sync-full | sync-insert | async-simple | async-session")
+		updates     = flag.Float64("updates", 0.5, "update fraction")
+		indexReads  = flag.Float64("indexreads", 0.4, "exact-match index read fraction")
+		rangeReads  = flag.Float64("rangereads", 0.1, "range read fraction")
+		selectivity = flag.Float64("selectivity", 0.001, "range query selectivity")
+		dist        = flag.String("distribution", "zipfian", "key distribution: zipfian | uniform | latest")
+	)
+	flag.Parse()
+
+	scheme := -1
+	switch *schemeName {
+	case "none":
+	case "sync-full":
+		scheme = int(diffindex.SyncFull)
+	case "sync-insert":
+		scheme = int(diffindex.SyncInsert)
+	case "async-simple":
+		scheme = int(diffindex.AsyncSimple)
+	case "async-session":
+		scheme = int(diffindex.AsyncSession)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	db := diffindex.Open(diffindex.Options{
+		Servers:          *servers,
+		NetRTT:           120 * time.Microsecond,
+		DiskReadLatency:  250 * time.Microsecond,
+		DiskWriteLatency: 5 * time.Microsecond,
+		DiskSyncLatency:  10 * time.Microsecond,
+	})
+	defer db.Close()
+
+	fmt.Printf("loading %d records on %d servers (scheme %s)...\n", *records, *servers, *schemeName)
+	start := time.Now()
+	if err := workload.Setup(db, *records, *servers, scheme, scheme, 2**servers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !db.WaitForIndexes(2 * time.Minute) {
+		fmt.Fprintln(os.Stderr, "indexes did not converge after load")
+		os.Exit(1)
+	}
+	if err := db.FlushAll(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	mix := map[workload.OpKind]float64{}
+	if scheme >= 0 {
+		mix[workload.OpIndexRead] = *indexReads
+		mix[workload.OpRangeRead] = *rangeReads
+	} else {
+		mix[workload.OpRowRead] = *indexReads + *rangeReads
+	}
+	_ = updates // remainder of the mix is updates
+
+	fmt.Printf("running %v with %d threads...\n", *duration, *threads)
+	res := workload.Run(db, workload.RunConfig{
+		Records:          *records,
+		Threads:          *threads,
+		Duration:         *duration,
+		TargetTPS:        *targetTPS,
+		Mix:              mix,
+		RangeSelectivity: *selectivity,
+		Distribution:     *dist,
+		Seed:             time.Now().UnixNano(),
+	})
+
+	fmt.Printf("\nops=%d errors=%d throughput=%.0f TPS\n", res.Ops, res.Errors, res.TPS)
+	for kind, h := range res.PerOp {
+		if h.Count() == 0 {
+			continue
+		}
+		s := h.Snapshot()
+		fmt.Printf("%-11s %s\n", kind, s)
+	}
+	if scheme == int(diffindex.AsyncSimple) || scheme == int(diffindex.AsyncSession) {
+		db.WaitForIndexes(2 * time.Minute)
+		st := db.Staleness()
+		fmt.Printf("index staleness: n=%d p50=%v p95=%v max=%v\n",
+			st.Count, time.Duration(st.P50), time.Duration(st.P95), time.Duration(st.Max))
+	}
+}

@@ -1,0 +1,283 @@
+package diffindex
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func openTestDB(t testing.TB, servers int) *DB {
+	t.Helper()
+	db := Open(Options{Servers: servers})
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	db := openTestDB(t, 3)
+	if err := db.CreateTable("reviews", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("reviews", []string{"product"}, SyncInsert, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("app-1")
+	if _, err := cl.Put("reviews", []byte("r1"), Cols{"product": []byte("p42"), "stars": []byte("5")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("reviews", []byte("r2"), Cols{"product": []byte("p42"), "stars": []byte("3")}); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := cl.GetByIndex("reviews", []string{"product"}, []byte("p42"))
+	if err != nil || len(hits) != 2 {
+		t.Fatalf("hits=%v err=%v", hits, err)
+	}
+	rows, err := cl.RowsByIndex("reviews", []string{"product"}, []byte("p42"))
+	if err != nil || len(rows) != 2 || string(rows[0].Cols["product"]) != "p42" {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	// Point and row reads.
+	v, ts, ok, err := cl.Get("reviews", []byte("r1"), "stars")
+	if err != nil || !ok || string(v) != "5" || ts <= 0 {
+		t.Fatalf("Get=%q ts=%d ok=%v err=%v", v, ts, ok, err)
+	}
+	row, err := cl.GetRow("reviews", []byte("r1"))
+	if err != nil || len(row) != 2 {
+		t.Fatalf("GetRow=%v err=%v", row, err)
+	}
+	// Scan.
+	all, err := cl.Scan("reviews", nil, nil, 0)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Scan=%v err=%v", all, err)
+	}
+	// Delete clears the index (read-repair path).
+	if _, err := cl.Delete("reviews", []byte("r1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = cl.GetByIndex("reviews", []string{"product"}, []byte("p42"))
+	if len(hits) != 1 {
+		t.Fatalf("hits after delete = %v", hits)
+	}
+}
+
+func TestPublicAPISchemesAndCounters(t *testing.T) {
+	db := openTestDB(t, 3)
+	db.CreateTable("t", nil)
+	if err := db.CreateIndex("t", []string{"a"}, SyncFull, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("t", []string{"b"}, AsyncSimple, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("c")
+	cl.Put("t", []byte("r"), Cols{"a": []byte("1"), "b": []byte("2")})
+	if !db.WaitForIndexes(5 * time.Second) {
+		t.Fatal("indexes did not converge")
+	}
+	if db.PendingIndexUpdates() != 0 {
+		t.Error("pending updates after convergence")
+	}
+	io := db.IOCounts()
+	if io.BasePut == 0 || io.IndexPut == 0 || io.AsyncIndexPut == 0 {
+		t.Errorf("IOCounts = %+v", io)
+	}
+	if got := db.Staleness(); got.Count == 0 {
+		t.Error("staleness empty after async work")
+	}
+	db.ResetStaleness()
+	if got := db.Staleness(); got.Count != 0 {
+		t.Error("ResetStaleness did not clear")
+	}
+}
+
+func TestPublicAPISession(t *testing.T) {
+	db := openTestDB(t, 2)
+	db.CreateTable("t", nil)
+	if err := db.CreateIndex("t", []string{"col"}, AsyncSession, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Block async delivery so read-your-writes is load-bearing.
+	db.PartitionNetwork("rs1", "rs2")
+	defer db.HealNetwork()
+
+	cl := db.NewClient("c")
+	s := cl.NewSession()
+	defer s.End()
+	if s.ID() == "" {
+		t.Error("empty session id")
+	}
+	if _, err := s.Put("t", []byte("r1"), Cols{"col": []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.GetByIndex("t", []string{"col"}, []byte("v"))
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("session hits=%v err=%v", hits, err)
+	}
+	if s.Degraded() {
+		t.Error("session degraded unexpectedly")
+	}
+	rh, err := s.RangeByIndex("t", []string{"col"}, []byte("a"), []byte("z"), 0)
+	if err != nil || len(rh) != 1 {
+		t.Fatalf("session range hits=%v err=%v", rh, err)
+	}
+	s.End()
+	if _, err := s.GetByIndex("t", []string{"col"}, []byte("v")); err != ErrSessionExpired {
+		t.Errorf("read after End: %v", err)
+	}
+}
+
+func TestPublicAPIFailover(t *testing.T) {
+	db := openTestDB(t, 3)
+	db.CreateTable("t", [][]byte{[]byte("m")})
+	if err := db.CreateIndex("t", []string{"col"}, AsyncSimple, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("c")
+	for i := 0; i < 30; i++ {
+		cl.Put("t", []byte(fmt.Sprintf("row%02d", i)), Cols{"col": []byte("x")})
+	}
+	if len(db.Servers()) != 3 || len(db.LiveServers()) != 3 {
+		t.Fatal("server listing wrong")
+	}
+	if err := db.CrashServer(db.Servers()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.LiveServers()) != 2 {
+		t.Error("crashed server still live")
+	}
+	if !db.WaitForIndexes(10 * time.Second) {
+		t.Fatal("indexes did not converge after crash")
+	}
+	hits, err := cl.GetByIndex("t", []string{"col"}, []byte("x"))
+	if err != nil || len(hits) != 30 {
+		t.Fatalf("hits=%d err=%v", len(hits), err)
+	}
+}
+
+func TestPublicAPIRangeAndSplits(t *testing.T) {
+	db := openTestDB(t, 3)
+	db.CreateTable("t", nil)
+	splits := IndexSplitPoints([]byte("00300"), []byte("00600"))
+	if len(splits) != 2 {
+		t.Fatal("IndexSplitPoints wrong arity")
+	}
+	if err := db.CreateIndex("t", []string{"price"}, SyncFull, splits); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("c")
+	for i := 0; i < 100; i++ {
+		cl.Put("t", []byte(fmt.Sprintf("row%03d", i)), Cols{"price": []byte(fmt.Sprintf("%05d", i*10))})
+	}
+	hits, err := cl.RangeByIndex("t", []string{"price"}, []byte("00200"), []byte("00700"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 51 {
+		t.Fatalf("range hits = %d, want 51", len(hits))
+	}
+	if db.DropIndex("t", []string{"missing"}) {
+		t.Error("DropIndex of missing index succeeded")
+	}
+	if !db.DropIndex("t", []string{"price"}) {
+		t.Error("DropIndex failed")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		SyncFull: "sync-full", SyncInsert: "sync-insert",
+		AsyncSimple: "async-simple", AsyncSession: "async-session",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestPublicAPILocalIndex(t *testing.T) {
+	db := openTestDB(t, 3)
+	db.CreateTable("t", [][]byte{[]byte("m")})
+	if err := db.CreateLocalIndex("t", []string{"kind"}); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("c")
+	for i := 0; i < 12; i++ {
+		row := []byte(fmt.Sprintf("%c%02d", 'a'+byte(i%26), i)) // both regions
+		if _, err := cl.Put("t", row, Cols{"kind": []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := cl.GetByIndex("t", []string{"kind"}, []byte("x"))
+	if err != nil || len(hits) != 12 {
+		t.Fatalf("local hits = %d err=%v", len(hits), err)
+	}
+	// Updates are causal: immediately visible, old value gone.
+	if _, err := cl.Put("t", []byte("a00"), Cols{"kind": []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = cl.GetByIndex("t", []string{"kind"}, []byte("x"))
+	if len(hits) != 11 {
+		t.Fatalf("hits after update = %d", len(hits))
+	}
+	// Scans exclude local-index entries.
+	rows, err := cl.Scan("t", nil, nil, 0)
+	if err != nil || len(rows) != 12 {
+		t.Fatalf("scan rows = %d err=%v", len(rows), err)
+	}
+	if !db.DropIndex("t", []string{"kind"}) {
+		t.Error("DropIndex of local index failed")
+	}
+}
+
+func TestPublicAPISplitRegion(t *testing.T) {
+	db := openTestDB(t, 3)
+	db.CreateTable("t", nil)
+	if err := db.CreateLocalIndex("t", []string{"kind"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("t", []string{"tag"}, SyncFull, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("c")
+	for i := 0; i < 40; i++ {
+		row := []byte(fmt.Sprintf("row%03d", i))
+		if _, err := cl.Put("t", row, Cols{"kind": []byte("k"), "tag": []byte("g")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions, err := db.Regions("t")
+	if err != nil || len(regions) != 1 {
+		t.Fatalf("regions = %v err=%v", regions, err)
+	}
+	if err := db.SplitRegion(regions[0].ID, []byte("row020")); err != nil {
+		t.Fatal(err)
+	}
+	regions, _ = db.Regions("t")
+	if len(regions) != 2 {
+		t.Fatalf("regions after split = %d", len(regions))
+	}
+	// Both index kinds survive the split: local entries moved with their
+	// rows, the global index table is untouched.
+	hits, err := cl.GetByIndex("t", []string{"kind"}, []byte("k"))
+	if err != nil || len(hits) != 40 {
+		t.Fatalf("local hits after split = %d err=%v", len(hits), err)
+	}
+	hits, err = cl.GetByIndex("t", []string{"tag"}, []byte("g"))
+	if err != nil || len(hits) != 40 {
+		t.Fatalf("global hits after split = %d err=%v", len(hits), err)
+	}
+	// New writes to both children keep both indexes fresh.
+	if _, err := cl.Put("t", []byte("row005"), Cols{"kind": []byte("k2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("t", []byte("row030"), Cols{"kind": []byte("k2")}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = cl.GetByIndex("t", []string{"kind"}, []byte("k2"))
+	if len(hits) != 2 {
+		t.Fatalf("k2 hits = %d", len(hits))
+	}
+	if err := db.SplitRegion("ghost", []byte("x")); err == nil {
+		t.Error("split of unknown region succeeded")
+	}
+}

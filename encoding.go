@@ -1,0 +1,53 @@
+package diffindex
+
+import "diffindex/internal/kv"
+
+// Typed order-preserving encodings.
+//
+// Index values compare as raw bytes, so columns holding numbers must be
+// encoded order-preservingly for RangeByIndex to work. These helpers map Go
+// values to byte strings whose lexicographic order equals the values'
+// natural order; strings need no encoding. DenseValue packs several typed
+// fields into one column value (the "dense columns" of the paper's Big SQL
+// integration, §7), still order-preserving field by field.
+
+// EncodeUint64 encodes v so byte order equals numeric order.
+func EncodeUint64(v uint64) []byte { return kv.EncodeUint64(v) }
+
+// DecodeUint64 reverses EncodeUint64.
+func DecodeUint64(b []byte) (uint64, error) { return kv.DecodeUint64(b) }
+
+// EncodeInt64 encodes v (including negatives) so byte order equals numeric
+// order.
+func EncodeInt64(v int64) []byte { return kv.EncodeInt64(v) }
+
+// DecodeInt64 reverses EncodeInt64.
+func DecodeInt64(b []byte) (int64, error) { return kv.DecodeInt64(b) }
+
+// EncodeFloat64 encodes v so byte order equals IEEE-754 total order.
+func EncodeFloat64(v float64) []byte { return kv.EncodeFloat64(v) }
+
+// DecodeFloat64 reverses EncodeFloat64.
+func DecodeFloat64(b []byte) (float64, error) { return kv.DecodeFloat64(b) }
+
+// EncodeBool encodes false < true.
+func EncodeBool(v bool) []byte { return kv.EncodeBool(v) }
+
+// DecodeBool reverses EncodeBool.
+func DecodeBool(b []byte) (bool, error) { return kv.DecodeBool(b) }
+
+// Field is one typed component of a dense value.
+type Field = kv.DenseField
+
+// Typed field constructors for DenseValue.
+func Uint64Field(v uint64) Field   { return kv.Uint64Field(v) }
+func Int64Field(v int64) Field     { return kv.Int64Field(v) }
+func Float64Field(v float64) Field { return kv.Float64Field(v) }
+func BoolField(v bool) Field       { return kv.BoolField(v) }
+func BytesField(v []byte) Field    { return kv.BytesField(v) }
+
+// DenseValue packs typed fields into one order-preserving column value.
+func DenseValue(fields ...Field) []byte { return kv.EncodeDense(fields...) }
+
+// DenseFields unpacks a value produced by DenseValue.
+func DenseFields(b []byte) ([]Field, error) { return kv.DecodeDense(b) }

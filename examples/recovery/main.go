@@ -1,0 +1,85 @@
+// Recovery: a live demonstration of the §5.3 failure-recovery protocol.
+// The program stalls asynchronous index delivery with a network partition
+// so the AUQ holds pending work, then crashes the region server — losing
+// the queue along with the memtables. Recovery reassigns the regions,
+// replays the WAL on the new servers, and re-enqueues every replayed put
+// into the AUQ; because index entries carry their base entry's timestamp,
+// redelivery is idempotent and the index converges to exactly the right
+// state.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"diffindex"
+)
+
+const rows = 200
+
+func main() {
+	db := diffindex.Open(diffindex.Options{
+		Servers: 4,
+		NetRTT:  150 * time.Microsecond,
+	})
+	defer db.Close()
+
+	if err := db.CreateTable("orders", [][]byte{[]byte("order-100")}); err != nil {
+		panic(err)
+	}
+	if err := db.CreateIndex("orders", []string{"status"}, diffindex.AsyncSimple, nil); err != nil {
+		panic(err)
+	}
+	cl := db.NewClient("app")
+
+	// Stall server↔server delivery so index work piles up in the AUQ.
+	servers := db.Servers()
+	for i := 0; i < len(servers); i++ {
+		for j := i + 1; j < len(servers); j++ {
+			db.PartitionNetwork(servers[i], servers[j])
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := cl.Put("orders", []byte(fmt.Sprintf("order-%03d", i)), diffindex.Cols{
+			"status": []byte("pending"),
+			"amount": []byte(fmt.Sprintf("%d", 10+i)),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("wrote %d orders; %d index updates pending in the AUQ (delivery stalled)\n",
+		rows, db.PendingIndexUpdates())
+
+	// Crash a server while its queue is full. The in-memory AUQ dies with
+	// it; the WAL survives in the shared file system.
+	victim := db.LiveServers()[0]
+	fmt.Printf("crashing %s (in-memory AUQ and memtables lost)...\n", victim)
+	start := time.Now()
+	if err := db.CrashServer(victim); err != nil {
+		panic(err)
+	}
+	fmt.Printf("regions reassigned and WALs replayed in %v; pending after replay: %d\n",
+		time.Since(start).Round(time.Millisecond), db.PendingIndexUpdates())
+
+	// Heal the network; the APS drains the reconstructed queues.
+	db.HealNetwork()
+	if !db.WaitForIndexes(time.Minute) {
+		panic("index did not converge after recovery")
+	}
+	fmt.Printf("index converged %v after the crash\n", time.Since(start).Round(time.Millisecond))
+
+	// Verify: every order is findable through the index, exactly once.
+	hits, err := cl.GetByIndex("orders", []string{"status"}, []byte("pending"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("index lookup status=pending: %d orders (expected %d)\n", len(hits), rows)
+	if len(hits) != rows {
+		panic("index incomplete after recovery")
+	}
+	// Base data also survived (memtable rebuilt from the WAL).
+	if _, _, ok, _ := cl.Get("orders", []byte("order-000"), "amount"); !ok {
+		panic("base data lost")
+	}
+	fmt.Println("recovery protocol verified: no index entry lost, none duplicated")
+}

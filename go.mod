@@ -1,0 +1,3 @@
+module diffindex
+
+go 1.22

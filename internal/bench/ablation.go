@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: the
+// drain-before-flush recovery protocol, the block cache that makes index
+// reads fast, and the AUQ sizing that absorbs write bursts.
+
+// AblationDrain demonstrates why the drain-AUQ-before-flush protocol exists
+// (§5.3): with the drain disabled, a flush truncates the WAL while index
+// work for the flushed data is still queued; a subsequent crash loses that
+// work permanently. With the drain on, zero entries are lost.
+func AblationDrain(p Profile) (Report, error) {
+	r := Report{
+		ID:     "ablate-drain",
+		Title:  "Ablation: drain-AUQ-before-flush on vs off (crash after flush)",
+		Header: []string{"drain", "missing_index_entries", "flush_ms"},
+	}
+	for _, drain := range []bool{true, false} {
+		opts := p.Options()
+		opts.UnsafeDisableDrainOnFlush = !drain
+		db := diffindex.Open(opts)
+		if err := workload.Setup(db, p.Records, p.RegionsPerTable, int(diffindex.AsyncSimple), -1, p.LoaderThreads); err != nil {
+			db.Close()
+			return Report{}, err
+		}
+		db.WaitForIndexes(waitLong)
+
+		// Stall server↔server index delivery so the burst leaves a real
+		// backlog in the AUQ, then flush while the backlog stands.
+		servers := db.Servers()
+		for i := 0; i < len(servers); i++ {
+			for j := i + 1; j < len(servers); j++ {
+				db.PartitionNetwork(servers[i], servers[j])
+			}
+		}
+		n := int64(256)
+		if n > p.Records {
+			n = p.Records
+		}
+		concurrentBurst(db, p, n)
+
+		var flushTime time.Duration
+		if drain {
+			// The flush must wait for the AUQ to empty, which requires
+			// connectivity: heal shortly after the flush starts and watch
+			// it complete only once the queue has drained — the "slightly
+			// delayed flush" behavior of §5.3.
+			flushDone := make(chan time.Duration, 1)
+			go func() {
+				start := time.Now()
+				db.FlushAll()
+				flushDone <- time.Since(start)
+			}()
+			time.Sleep(50 * time.Millisecond)
+			db.HealNetwork()
+			flushTime = <-flushDone
+			if db.PendingIndexUpdates() != 0 {
+				db.Close()
+				return Report{}, fmt.Errorf("bench: AUQ not empty after drained flush")
+			}
+		} else {
+			// Without the drain the flush completes immediately — and
+			// truncates the WAL out from under the queued entries.
+			flushTime = timeFlush(db)
+		}
+
+		// Crash every server but one; recovery replays the (now truncated)
+		// WALs on the survivor.
+		for len(db.LiveServers()) > 1 {
+			if err := db.CrashServer(db.LiveServers()[0]); err != nil {
+				db.Close()
+				return Report{}, err
+			}
+		}
+		db.HealNetwork()
+		db.WaitForIndexes(waitLong)
+
+		cl := db.NewClient("ablate-verify")
+		missing := 0
+		for i := int64(0); i < n; i++ {
+			hits, err := cl.GetByIndex(workload.TableName, []string{workload.TitleColumn},
+				workload.UpdatedTitleValue(i%p.Records, burstGen(i)))
+			if err != nil {
+				db.Close()
+				return Report{}, err
+			}
+			if len(hits) == 0 {
+				missing++
+			}
+		}
+		r.AddRow(fmt.Sprint(drain), fmt.Sprint(missing), msDur(flushTime))
+		db.Close()
+	}
+	r.AddNote("with the drain, the flush waits for the AUQ but no index update is ever lost; without it, entries queued at flush time vanish at the next crash")
+	return r, nil
+}
+
+// concurrentBurst issues n distinct value-changing updates from 8 parallel
+// clients, fast enough to outrun a single APS worker.
+func concurrentBurst(db *diffindex.DB, p Profile, n int64) {
+	const writers = 8
+	done := make(chan struct{}, writers)
+	for w := int64(0); w < writers; w++ {
+		go func(w int64) {
+			defer func() { done <- struct{}{} }()
+			cl := db.NewClient(fmt.Sprintf("ablate-burst-%d", w))
+			for i := w; i < n; i += writers {
+				item := i % p.Records
+				cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+					workload.TitleColumn: workload.UpdatedTitleValue(item, burstGen(i)),
+				})
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+}
+
+// AblationBlockCache measures exact-match index reads with the block cache
+// enabled vs disabled: the cache is what keeps the (small) index tables
+// memory-resident so sync-full reads stay fast while base reads remain
+// disk-bound (§8.1's warmed-cache setup).
+func AblationBlockCache(p Profile) (Report, error) {
+	r := Report{
+		ID:     "ablate-cache",
+		Title:  "Ablation: block cache on vs off (exact-match index reads)",
+		Header: []string{"cache", "mean_us", "p95_us"},
+	}
+	for _, cached := range []bool{true, false} {
+		opts := p.Options()
+		if !cached {
+			opts.BlockCacheBytes = -1 // force every block read to disk
+		}
+		db := diffindex.Open(opts)
+		if err := workload.Setup(db, p.Records, p.RegionsPerTable, int(diffindex.SyncFull), -1, p.LoaderThreads); err != nil {
+			db.Close()
+			return Report{}, err
+		}
+		db.FlushAll()
+		warmReads(db, p)
+		res := workload.Run(db, workload.RunConfig{
+			Records:      p.Records,
+			Threads:      8,
+			Duration:     p.RunTime,
+			Mix:          map[workload.OpKind]float64{workload.OpIndexRead: 1.0},
+			Distribution: "uniform",
+			Seed:         13,
+		})
+		lat := res.PerOp[workload.OpIndexRead].Snapshot()
+		r.AddRow(fmt.Sprint(cached), us(lat.Mean), usInt(lat.P95))
+		db.Close()
+	}
+	r.AddNote("without the cache every index lookup pays a simulated disk seek per touched block")
+	return r, nil
+}
+
+// AblationQueueCapacity measures put latency during a write burst with a
+// large vs tiny AUQ: the paper notes that "by assigning a large-size AUQ
+// the workload surge can be largely absorbed" (§8.2); a tiny queue
+// backpressures the writer instead.
+func AblationQueueCapacity(p Profile) (Report, error) {
+	r := Report{
+		ID:     "ablate-auq",
+		Title:  "Ablation: AUQ capacity under a write burst (async-simple)",
+		Header: []string{"capacity", "mean_put_us", "p95_put_us", "burst_TPS"},
+	}
+	for _, capacity := range []int{4096, 4} {
+		opts := p.Options()
+		opts.AUQCapacity = capacity
+		// A single slow worker makes the queue the bottleneck.
+		opts.APSWorkers = 1
+		db := diffindex.Open(opts)
+		if err := workload.Setup(db, p.Records, p.RegionsPerTable, int(diffindex.AsyncSimple), -1, p.LoaderThreads); err != nil {
+			db.Close()
+			return Report{}, err
+		}
+		db.WaitForIndexes(waitLong)
+		res := workload.Run(db, workload.RunConfig{
+			Records:      p.Records,
+			Threads:      16,
+			Duration:     p.RunTime,
+			Distribution: "zipfian",
+			Seed:         17,
+		})
+		lat := res.PerOp[workload.OpUpdate].Snapshot()
+		r.AddRow(fmt.Sprint(capacity), us(lat.Mean), usInt(lat.P95), fmt.Sprintf("%.0f", res.TPS))
+		db.WaitForIndexes(waitLong)
+		db.Close()
+	}
+	r.AddNote("a large queue absorbs the surge (puts stay fast); a tiny queue backpressures the writers until the APS catches up")
+	return r, nil
+}

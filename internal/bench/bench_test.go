@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a minimal profile so experiment plumbing is testable in
+// seconds: the latency model is preserved (the ratios matter), only scale
+// and durations shrink.
+func tiny() Profile {
+	p := Small()
+	p.Name = "tiny"
+	p.Servers = 3
+	p.Records = 300
+	p.RegionsPerTable = 3
+	p.LoaderThreads = 4
+	p.ThreadSweep = []int{1, 4}
+	p.RunTime = 60 * time.Millisecond
+	return p
+}
+
+func TestRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := Find("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	s, p := Small(), Paper()
+	if s.Records >= p.Records || s.Servers >= p.Servers {
+		t.Error("paper profile must be larger than small")
+	}
+	c := Cloud(s)
+	if c.Servers != s.Servers*5 || c.Records != s.Records*5 {
+		t.Errorf("cloud profile wrong: %+v", c)
+	}
+	if c.DiskRead <= s.DiskRead {
+		t.Error("cloud profile must have slower disks")
+	}
+	opts := s.Options()
+	if opts.Servers != s.Servers || opts.DiskReadLatency != s.DiskRead {
+		t.Error("Options() mapping wrong")
+	}
+	if len(UpdateSchemes()) != 4 || len(ReadSchemes()) != 3 {
+		t.Error("scheme ladders wrong")
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	rep, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"no-index", "sync-full", "sync-insert", "async-simple", "update", "read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// 4 schemes × update + 3 schemes × read = 7 rows.
+	if len(rep.Rows) != 7 {
+		t.Errorf("table2 has %d rows:\n%s", len(rep.Rows), out)
+	}
+}
+
+func TestFig7ExperimentShape(t *testing.T) {
+	p := tiny()
+	points, err := RunUpdateSweep(p, UpdateSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := map[string]float64{}
+	for _, pt := range points {
+		if pt.Threads == 1 {
+			mean[pt.Scheme] = pt.MeanNs
+		}
+	}
+	// The paper's ordering at low load: null < async ≈ insert < full, with
+	// full ≈ 5x null and insert ≈ 2x null. Assert the ordering (the robust
+	// part of the shape).
+	if !(mean["null"] < mean["insert"] && mean["insert"] < mean["full"]) {
+		t.Errorf("latency ordering violated: %v", mean)
+	}
+	if mean["async"] >= mean["full"] {
+		t.Errorf("async slower than sync-full at low load: %v", mean)
+	}
+	if ratio := mean["full"] / mean["null"]; ratio < 2 {
+		t.Errorf("sync-full/null ratio %.1f, want ≥2 (paper ~5x)", ratio)
+	}
+}
+
+func TestFig8ExperimentShape(t *testing.T) {
+	rep, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3*2 { // 3 schemes × 2 thread points
+		t.Errorf("fig8 rows = %d:\n%s", len(rep.Rows), rep)
+	}
+	if len(rep.Notes) == 0 {
+		t.Error("fig8 missing comparison notes")
+	}
+}
+
+func TestFig9ExperimentShape(t *testing.T) {
+	rep, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2*3 { // 2 schemes × 3 selectivities
+		t.Errorf("fig9 rows = %d:\n%s", len(rep.Rows), rep)
+	}
+}
+
+func TestFig11Experiment(t *testing.T) {
+	rep, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Errorf("fig11 rows = %d:\n%s", len(rep.Rows), rep)
+	}
+}
+
+func TestScanVsIndexExperiment(t *testing.T) {
+	rep, err := ScanVsIndex(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("scanvsindex rows = %d", len(rep.Rows))
+	}
+	if !strings.Contains(rep.Notes[0], "speedup") {
+		t.Errorf("missing speedup note: %v", rep.Notes)
+	}
+}
+
+func TestAblationDrainShowsLoss(t *testing.T) {
+	rep, err := AblationDrain(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Row 0: drain=true must lose nothing. Row 1: drain=false must lose
+	// something — that is the whole point of the protocol.
+	if rep.Rows[0][1] != "0" {
+		t.Errorf("drain-on lost %s entries:\n%s", rep.Rows[0][1], rep)
+	}
+	if rep.Rows[1][1] == "0" {
+		t.Errorf("drain-off lost nothing — ablation shows no effect:\n%s", rep)
+	}
+}
+
+func TestAblationBlockCache(t *testing.T) {
+	rep, err := AblationBlockCache(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestAblationQueueCapacity(t *testing.T) {
+	rep, err := AblationQueueCapacity(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestRecoveryExperiment(t *testing.T) {
+	rep, err := Recovery(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range rep.Rows {
+		if strings.Contains(row[0], "missing") {
+			found = true
+			if row[1] != "0" {
+				t.Errorf("recovery lost %s index entries:\n%s", row[1], rep)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("missing-entries row absent:\n%s", rep)
+	}
+}
+
+func TestLocalVsGlobalExperiment(t *testing.T) {
+	p := tiny()
+	rep, err := LocalVsGlobal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 { // 3 sizes × 2 kinds
+		t.Fatalf("rows = %d:\n%s", len(rep.Rows), rep)
+	}
+	if len(rep.Notes) < 2 {
+		t.Errorf("missing trade-off notes:\n%s", rep)
+	}
+}

@@ -1,0 +1,39 @@
+package bench
+
+import "fmt"
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Profile) (Report, error)
+}
+
+// Experiments returns the full registry, in the paper's order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table2", "Table 2: I/O cost of Diff-Index schemes", Table2},
+		{"fig7", "Figure 7: update performance", Fig7},
+		{"fig8", "Figure 8: read performance", Fig8},
+		{"fig9", "Figure 9: range query latency vs selectivity", Fig9},
+		{"fig10", "Figure 10: scale-out on a 5x virtualized cluster", Fig10},
+		{"fig11", "Figure 11: async index staleness vs load", Fig11},
+		{"asyncpeak", "§8.2: async vs sync-full peak throughput", AsyncVsSyncFullThroughput},
+		{"scanvsindex", "§8.2: query-by-index vs parallel table scan", ScanVsIndex},
+		{"recovery", "§5.3: drain-before-flush delay and crash recovery", Recovery},
+		{"ablate-drain", "ablation: drain-before-flush on vs off", AblationDrain},
+		{"ablate-cache", "ablation: block cache on vs off", AblationBlockCache},
+		{"ablate-auq", "ablation: AUQ capacity under a write burst", AblationQueueCapacity},
+		{"localvsglobal", "§3.1: local vs global index trade-off", LocalVsGlobal},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+// LocalVsGlobal quantifies the §3.1 trade-off the paper discusses
+// qualitatively: a local index updates cheaply (no remote call — the entry
+// co-locates with the row's region) but answers every query by broadcasting
+// to all regions, so selective-query cost grows with the cluster; a global
+// index pays a remote call per update but serves a selective query from a
+// single region regardless of cluster size. The experiment measures both
+// operations at increasing cluster sizes.
+func LocalVsGlobal(p Profile) (Report, error) {
+	r := Report{
+		ID:     "localvsglobal",
+		Title:  "Local vs global index: update and selective-query latency vs cluster size (§3.1)",
+		Header: []string{"servers", "index", "update_us", "query_us"},
+	}
+	type point struct{ update, query float64 }
+	results := map[string]map[int]point{"local": {}, "global": {}}
+
+	for _, servers := range []int{2, 4, 8} {
+		for _, kind := range []string{"local", "global"} {
+			prof := p
+			prof.Servers = servers
+			prof.RegionsPerTable = servers
+			db := diffindex.Open(prof.Options())
+			if err := db.CreateTable(workload.TableName, workload.TableSplits(prof.Records, prof.RegionsPerTable)); err != nil {
+				db.Close()
+				return Report{}, err
+			}
+			var err error
+			if kind == "local" {
+				err = db.CreateLocalIndex(workload.TableName, []string{workload.TitleColumn})
+			} else {
+				err = db.CreateIndex(workload.TableName, []string{workload.TitleColumn}, diffindex.SyncFull,
+					workload.TitleIndexSplits(prof.Records, prof.RegionsPerTable))
+			}
+			if err != nil {
+				db.Close()
+				return Report{}, err
+			}
+			if err := workload.Load(db, prof.Records, prof.LoaderThreads); err != nil {
+				db.Close()
+				return Report{}, err
+			}
+			db.FlushAll()
+			cl := db.NewClient("lvg")
+
+			// Updates: value-changing puts on distinct items.
+			const ops = 32
+			start := time.Now()
+			for i := int64(0); i < ops; i++ {
+				item := (prof.Records / ops) * i
+				if _, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+					workload.TitleColumn: workload.UpdatedTitleValue(item, 1),
+				}); err != nil {
+					db.Close()
+					return Report{}, err
+				}
+			}
+			updateMean := float64(time.Since(start).Nanoseconds()) / ops
+
+			// Selective queries: exact match returning one row, warmed.
+			for i := int64(0); i < ops; i++ {
+				item := (prof.Records / ops) * i
+				cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.UpdatedTitleValue(item, 1))
+			}
+			start = time.Now()
+			for i := int64(0); i < ops; i++ {
+				item := (prof.Records / ops) * i
+				hits, err := cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.UpdatedTitleValue(item, 1))
+				if err != nil {
+					db.Close()
+					return Report{}, err
+				}
+				if len(hits) != 1 {
+					db.Close()
+					return Report{}, fmt.Errorf("bench: %s query returned %d hits", kind, len(hits))
+				}
+			}
+			queryMean := float64(time.Since(start).Nanoseconds()) / ops
+
+			results[kind][servers] = point{updateMean, queryMean}
+			r.AddRow(fmt.Sprint(servers), kind, us(updateMean), us(queryMean))
+			db.Close()
+		}
+	}
+
+	l2, l8 := results["local"][2], results["local"][8]
+	g2, g8 := results["global"][2], results["global"][8]
+	if l2.query > 0 && g2.update > 0 {
+		r.AddNote("local update stays cheap at every size (%.0f→%.0f µs); global update pays the remote call (%.0f→%.0f µs)",
+			l2.update/1e3, l8.update/1e3, g2.update/1e3, g8.update/1e3)
+		r.AddNote("local query cost grows with the cluster (broadcast: %.0f→%.0f µs, %.1fx); global stays flat (%.0f→%.0f µs)",
+			l2.query/1e3, l8.query/1e3, l8.query/l2.query, g2.query/1e3, g8.query/1e3)
+		r.AddNote("this is §3.1's argument for choosing GLOBAL indexes for highly selective queries on big clusters")
+	}
+	return r, nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"diffindex/internal/metrics"
+)
+
+// Report is one regenerated table or figure: a titled text table plus
+// free-form notes comparing the measured shape to the paper's claim.
+type Report struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report for the terminal.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(metrics.FormatTable(r.Header, r.Rows))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// us renders nanoseconds as microseconds with one decimal.
+func us(ns float64) string { return fmt.Sprintf("%.1f", ns/1e3) }
+
+// usInt renders an integer nanosecond quantity as microseconds.
+func usInt(ns int64) string { return us(float64(ns)) }
+
+// msDur renders a duration in milliseconds.
+func msDur(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6) }

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+// Table2 regenerates the paper's Table 2 by measurement: for each scheme it
+// performs value-changing updates and exact-match reads against a loaded
+// table and reports the per-operation I/O counts alongside the paper's
+// analytical values. Bracketed counts are asynchronous (performed by the
+// APS, off the client's latency path).
+func Table2(p Profile) (Report, error) {
+	r := Report{
+		ID:     "table2",
+		Title:  "I/O cost of Diff-Index schemes (measured per operation vs paper)",
+		Header: []string{"scheme", "action", "base_put", "base_read", "index_put", "index_read", "paper"},
+	}
+
+	type expect struct {
+		scheme int
+		label  string
+		paperU string // paper's update row
+		paperR string // paper's read row
+	}
+	cases := []expect{
+		{-1, "no-index", "1/0/0/0", "-"},
+		{int(diffindex.SyncFull), "sync-full", "1/1/1+1/0", "0/0/0/1"},
+		{int(diffindex.SyncInsert), "sync-insert", "1/0/1/0", "0/K/K/1"},
+		{int(diffindex.AsyncSimple), "async-simple", "1/[1]/[1+1]/0", "0/0/0/1"},
+	}
+	const ops = 64
+	for _, c := range cases {
+		db, err := setupDB(p, c.scheme, -1)
+		if err != nil {
+			return Report{}, err
+		}
+		cl := db.NewClient("table2")
+
+		// Measured update: change the indexed value of existing rows.
+		before := db.IOCounts()
+		for i := int64(0); i < ops; i++ {
+			if _, err := cl.Put(workload.TableName, workload.ItemKey(i), diffindex.Cols{
+				workload.TitleColumn: workload.UpdatedTitleValue(i, 1),
+			}); err != nil {
+				db.Close()
+				return Report{}, err
+			}
+		}
+		db.WaitForIndexes(waitLong)
+		du := sub(db.IOCounts(), before)
+		if c.scheme < 0 {
+			// The no-index baseline has no observer, so count the put
+			// itself.
+			du.BasePut = ops
+		}
+		r.AddRow(c.label, "update",
+			per(du.BasePut, ops),
+			fmt.Sprintf("%s + [%s]", per(du.BaseRead, ops), per(du.AsyncBaseRead, ops)),
+			fmt.Sprintf("%s + [%s]", per(du.IndexPut+du.IndexDel, ops), per(du.AsyncIndexPut+du.AsyncIndexDel, ops)),
+			per(du.IndexRead, ops), c.paperU)
+
+		// Measured read: exact-match lookups returning one row.
+		if c.scheme >= 0 {
+			before = db.IOCounts()
+			for i := int64(0); i < ops; i++ {
+				if _, err := cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.UpdatedTitleValue(i, 1)); err != nil {
+					db.Close()
+					return Report{}, err
+				}
+			}
+			dr := sub(db.IOCounts(), before)
+			r.AddRow(c.label, "read",
+				per(dr.BasePut, ops),
+				per(dr.BaseRead, ops),
+				per(dr.IndexPut+dr.IndexDel, ops),
+				per(dr.IndexRead, ops), c.paperR)
+		}
+		db.Close()
+	}
+	r.AddNote("paper column format: base_put/base_read/index_put/index_read per Table 2; [n] = asynchronous; K = result rows (K=1 here)")
+	r.AddNote("sync-full update shows index_put 1+1 only when the update changes the indexed value (the delete of the superseded entry)")
+	return r, nil
+}
+
+func sub(a, b diffindex.IOCounts) diffindex.IOCounts {
+	return diffindex.IOCounts{
+		BasePut: a.BasePut - b.BasePut, BaseRead: a.BaseRead - b.BaseRead,
+		IndexPut: a.IndexPut - b.IndexPut, IndexDel: a.IndexDel - b.IndexDel,
+		IndexRead:     a.IndexRead - b.IndexRead,
+		AsyncBaseRead: a.AsyncBaseRead - b.AsyncBaseRead,
+		AsyncIndexPut: a.AsyncIndexPut - b.AsyncIndexPut,
+		AsyncIndexDel: a.AsyncIndexDel - b.AsyncIndexDel,
+	}
+}
+
+func per(total int64, ops int64) string {
+	return fmt.Sprintf("%.2g", float64(total)/float64(ops))
+}

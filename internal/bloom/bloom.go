@@ -1,0 +1,111 @@
+// Package bloom implements the Bloom filters embedded in SSTables. HBase
+// attaches a Bloom filter to each HFile so point reads skip files that
+// cannot contain the requested key; without them every LSM read would probe
+// every on-disk component (§2.1). The filter uses double hashing (Kirsch &
+// Mitzenmacher) over a 64-bit FNV-1a hash, the standard construction used by
+// LevelDB-family stores.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is an immutable Bloom filter over a set of keys.
+type Filter struct {
+	bits []byte
+	k    uint32 // number of probe positions per key
+}
+
+// BitsPerKey is the sizing used when building filters: 10 bits/key gives a
+// ≈1% false-positive rate, matching HBase's default row Bloom configuration.
+const BitsPerKey = 10
+
+// hashKey returns two independent 32-bit hashes of key for double hashing.
+func hashKey(key []byte) (h1, h2 uint32) {
+	h := fnv.New64a()
+	h.Write(key)
+	sum := h.Sum64()
+	h1 = uint32(sum)
+	h2 = uint32(sum >> 32)
+	if h2 == 0 { // keep the probe stride non-degenerate
+		h2 = 0x9E3779B9
+	}
+	return h1, h2
+}
+
+// New builds a filter containing every key in keys, sized at bitsPerKey bits
+// per key (use BitsPerKey for the default ≈1% FP rate).
+func New(keys [][]byte, bitsPerKey int) *Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	nBits := len(keys) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+	// Optimal probe count: k = ln2 · bits/key, clamped to a sane range.
+	k := uint32(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	f := &Filter{bits: make([]byte, nBytes), k: k}
+	for _, key := range keys {
+		f.add(key, uint32(nBits))
+	}
+	return f
+}
+
+func (f *Filter) add(key []byte, nBits uint32) {
+	h1, h2 := hashKey(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % nBits
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// MayContain reports whether key may be in the set. False negatives never
+// occur; false positives occur at roughly the configured rate.
+func (f *Filter) MayContain(key []byte) bool {
+	if f == nil || len(f.bits) == 0 {
+		return true // absent filter: cannot exclude anything
+	}
+	nBits := uint32(len(f.bits) * 8)
+	h1, h2 := hashKey(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal serializes the filter for embedding in an SSTable footer block.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 4+len(f.bits))
+	binary.LittleEndian.PutUint32(out, f.k)
+	copy(out[4:], f.bits)
+	return out
+}
+
+// Unmarshal decodes a filter produced by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("bloom: filter too short (%d bytes)", len(data))
+	}
+	k := binary.LittleEndian.Uint32(data)
+	if k == 0 || k > 30 {
+		return nil, fmt.Errorf("bloom: invalid probe count %d", k)
+	}
+	bits := make([]byte, len(data)-4)
+	copy(bits, data[4:])
+	return &Filter{bits: bits, k: k}, nil
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/lsm"
+)
+
+// Client is the store's client library (§2.2): it caches a copy of the
+// partition map and routes each request to the region server hosting the
+// key, over the simulated network. On a routing miss (server crashed or
+// region moved) it refreshes the map from the master and retries.
+type Client struct {
+	name    string
+	cluster *Cluster
+
+	mu     sync.Mutex
+	routes map[string][]RegionInfo
+}
+
+// NewClient returns a client with the given simnet node name.
+func NewClient(c *Cluster, name string) *Client {
+	return &Client{name: name, cluster: c, routes: make(map[string][]RegionInfo)}
+}
+
+// Name returns the client's node name.
+func (cl *Client) Name() string { return cl.name }
+
+// Cluster returns the cluster this client talks to.
+func (cl *Client) Cluster() *Cluster { return cl.cluster }
+
+func (cl *Client) regions(table string) ([]RegionInfo, error) {
+	cl.mu.Lock()
+	cached, ok := cl.routes[table]
+	cl.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	regions, err := cl.cluster.Master.RegionsOf(table)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	cl.routes[table] = regions
+	cl.mu.Unlock()
+	return regions, nil
+}
+
+func (cl *Client) invalidate(table string) {
+	cl.mu.Lock()
+	delete(cl.routes, table)
+	cl.mu.Unlock()
+}
+
+func (cl *Client) locate(table string, key []byte) (RegionInfo, error) {
+	regions, err := cl.regions(table)
+	if err != nil {
+		return RegionInfo{}, err
+	}
+	for _, ri := range regions {
+		if ri.Contains(key) {
+			return ri, nil
+		}
+	}
+	return RegionInfo{}, fmt.Errorf("cluster: no region for key %q in table %s", key, table)
+}
+
+const maxRetries = 20
+
+// retriable reports whether a routing error warrants refreshing the cached
+// partition map and retrying.
+func retriable(err error) bool {
+	return errors.Is(err, ErrServerDown) || errors.Is(err, ErrRegionNotFound)
+}
+
+// withRegion routes an operation to the region holding the routing key,
+// retrying through map refreshes when the region has moved. Retries back
+// off exponentially (1 ms … 64 ms) so requests ride out a region split or
+// reassignment in progress.
+func (cl *Client) withRegion(table string, routingKey []byte, fn func(ri RegionInfo, s *RegionServer) error) error {
+	var lastErr error
+	backoff := time.Millisecond
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		ri, err := cl.locate(table, routingKey)
+		if err != nil {
+			return err
+		}
+		server := cl.cluster.Server(ri.Server)
+		err = cl.cluster.Net.Call(cl.name, ri.Server, func() error { return fn(ri, server) })
+		if retriable(err) {
+			cl.invalidate(table)
+			lastErr = err
+			if len(cl.cluster.LiveServerIDs()) == 0 {
+				// Whole-cluster shutdown: nothing to retry against.
+				return fmt.Errorf("cluster: no live servers for table %s: %w", table, lastErr)
+			}
+			time.Sleep(backoff)
+			if backoff < 64*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("cluster: retries exhausted for table %s: %w", table, lastErr)
+}
+
+// Put writes a row's columns, returning the server-assigned timestamp.
+func (cl *Client) Put(table string, row []byte, cols map[string][]byte) (kv.Timestamp, error) {
+	ts, _, err := cl.put(table, row, cols, false)
+	return ts, err
+}
+
+// PutWithOld writes a row's columns and additionally returns the previous
+// visible values of that row — the session-consistency variant of put
+// (§5.2: "the server returns the old value and the new timestamp").
+func (cl *Client) PutWithOld(table string, row []byte, cols map[string][]byte) (kv.Timestamp, map[string][]byte, error) {
+	return cl.put(table, row, cols, true)
+}
+
+func (cl *Client) put(table string, row []byte, cols map[string][]byte, wantOld bool) (kv.Timestamp, map[string][]byte, error) {
+	var ts kv.Timestamp
+	var old map[string][]byte
+	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
+		var err error
+		ts, old, err = s.PutRow(ri.ID, row, cols, wantOld)
+		return err
+	})
+	return ts, old, err
+}
+
+// Delete tombstones the given columns of a row (all columns when cols is
+// nil), returning the delete timestamp.
+func (cl *Client) Delete(table string, row []byte, cols []string) (kv.Timestamp, error) {
+	var ts kv.Timestamp
+	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
+		var err error
+		ts, err = s.DeleteRow(ri.ID, row, cols)
+		return err
+	})
+	return ts, err
+}
+
+// Get reads one column of a row at the latest timestamp. ok reports whether
+// the column exists.
+func (cl *Client) Get(table string, row []byte, col string) ([]byte, kv.Timestamp, bool, error) {
+	return cl.GetAt(table, row, col, kv.MaxTimestamp)
+}
+
+// GetAt reads one column of a row as of timestamp ts.
+func (cl *Client) GetAt(table string, row []byte, col string, ts kv.Timestamp) ([]byte, kv.Timestamp, bool, error) {
+	var val []byte
+	var cellTs kv.Timestamp
+	var ok bool
+	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
+		c, found, err := s.Get(ri.ID, kv.BaseKey(row, []byte(col)), ts)
+		if err != nil {
+			return err
+		}
+		if found {
+			val, cellTs, ok = c.Value, c.Ts, true
+		} else {
+			val, cellTs, ok = nil, 0, false
+		}
+		return nil
+	})
+	return val, cellTs, ok, err
+}
+
+// GetRow reads all columns of a row at the latest timestamp. A nil map
+// means the row has no visible columns.
+func (cl *Client) GetRow(table string, row []byte) (map[string][]byte, error) {
+	prefix := kv.RowPrefix(row)
+	var cols map[string][]byte
+	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
+		results, err := s.Scan(ri.ID, prefix, kv.PrefixSuccessor(prefix), kv.MaxTimestamp, 0)
+		if err != nil {
+			return err
+		}
+		cols = nil
+		for _, res := range results {
+			_, col, err := kv.SplitBaseKey(res.Key)
+			if err != nil {
+				return err
+			}
+			if cols == nil {
+				cols = make(map[string][]byte)
+			}
+			cols[string(col)] = res.Value
+		}
+		return nil
+	})
+	return cols, err
+}
+
+// Row is one base-table row returned by Scan.
+type Row struct {
+	Key  []byte
+	Cols map[string][]byte
+}
+
+// forEachRegion walks the routing-key range [start, end) region by region
+// with a cursor: each step locates the region holding the cursor (through
+// the cache, refreshed transparently on routing misses) and invokes fn with
+// the region's clamped routing bounds. Cursor iteration stays correct when
+// regions split or move mid-scan, unlike walking a point-in-time region
+// list. fn returns false to stop early.
+func (cl *Client) forEachRegion(table string, start, end []byte, fn func(ri RegionInfo, lo, hi []byte, s *RegionServer) (bool, error)) error {
+	cursor := start
+	if cursor == nil {
+		cursor = []byte{}
+	}
+	for {
+		if end != nil && bytes.Compare(cursor, end) >= 0 {
+			return nil
+		}
+		var (
+			more    bool
+			nextEnd []byte
+		)
+		err := cl.withRegion(table, cursor, func(ri RegionInfo, s *RegionServer) error {
+			lo := cursor
+			hi := ri.End
+			if end != nil && (hi == nil || bytes.Compare(end, hi) < 0) {
+				hi = end
+			}
+			var err error
+			more, err = fn(ri, lo, hi, s)
+			nextEnd = ri.End
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if !more || nextEnd == nil {
+			return nil
+		}
+		cursor = nextEnd
+	}
+}
+
+// Scan reads rows with keys in [startRow, endRow) (nil bounds are open),
+// visiting regions in key order, up to limit rows (limit ≤ 0 = unlimited).
+func (cl *Client) Scan(table string, startRow, endRow []byte, limit int) ([]Row, error) {
+	var rows []Row
+	var curKey []byte
+	var curCols map[string][]byte
+	flush := func() {
+		if curCols != nil {
+			rows = append(rows, Row{Key: curKey, Cols: curCols})
+			curKey, curCols = nil, nil
+		}
+	}
+	hitLimit := false
+	err := cl.forEachRegion(table, startRow, endRow, func(ri RegionInfo, lo, hi []byte, s *RegionServer) (bool, error) {
+		// Translate row bounds into store-key bounds. An empty lower bound
+		// still starts at BaseDataStart so local-index entries (which sort
+		// below all base data) stay out of row scans.
+		storeLo := kv.BaseDataStart
+		if len(lo) > 0 {
+			storeLo = kv.RowPrefix(lo)
+		}
+		var storeHi []byte
+		if hi != nil {
+			storeHi = kv.RowPrefix(hi)
+		}
+		results, err := s.Scan(ri.ID, storeLo, storeHi, kv.MaxTimestamp, 0)
+		if err != nil {
+			return false, err
+		}
+		for _, res := range results {
+			row, col, err := kv.SplitBaseKey(res.Key)
+			if err != nil {
+				return false, err
+			}
+			if curCols == nil || !bytes.Equal(row, curKey) {
+				flush()
+				if limit > 0 && len(rows) >= limit {
+					hitLimit = true
+					return false, nil
+				}
+				curKey = append([]byte(nil), row...)
+				curCols = make(map[string][]byte)
+			}
+			curCols[string(col)] = res.Value
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !hitLimit {
+		flush()
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows, nil
+}
+
+// RawApply writes pre-timestamped cells to the region holding routingKey —
+// the index-maintenance path, where cells carry the base entry's timestamp.
+func (cl *Client) RawApply(table string, routingKey []byte, cells []kv.Cell) error {
+	return cl.withRegion(table, routingKey, func(ri RegionInfo, s *RegionServer) error {
+		return s.Apply(ri.ID, cells)
+	})
+}
+
+// RawGet reads a raw store key from the region holding routingKey at ts.
+func (cl *Client) RawGet(table string, routingKey, storeKey []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
+	var cell kv.Cell
+	var ok bool
+	err := cl.withRegion(table, routingKey, func(ri RegionInfo, s *RegionServer) error {
+		var err error
+		cell, ok, err = s.Get(ri.ID, storeKey, ts)
+		return err
+	})
+	return cell, ok, err
+}
+
+// BroadcastScan runs the same store-key scan against EVERY region of the
+// table and concatenates the results (region order, not globally sorted).
+// This is the query pattern of local secondary indexes (§3.1: "every query
+// has to be broadcast to each region"); each region contributes its own
+// matching entries, and the cost grows with the region count.
+func (cl *Client) BroadcastScan(table string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
+	var out []lsm.ScanResult
+	err := cl.forEachRegion(table, nil, nil, func(ri RegionInfo, _, _ []byte, s *RegionServer) (bool, error) {
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - len(out)
+			if remaining <= 0 {
+				return false, nil
+			}
+		}
+		results, err := s.Scan(ri.ID, start, end, ts, remaining)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, results...)
+		return true, nil
+	})
+	return out, err
+}
+
+// RawScan scans raw store keys in [start, end) across regions at ts, up to
+// limit results. For index tables, routing keys equal store keys.
+func (cl *Client) RawScan(table string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
+	var out []lsm.ScanResult
+	err := cl.forEachRegion(table, start, end, func(ri RegionInfo, lo, hi []byte, s *RegionServer) (bool, error) {
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - len(out)
+			if remaining <= 0 {
+				return false, nil
+			}
+		}
+		results, err := s.Scan(ri.ID, lo, hi, ts, remaining)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, results...)
+		return true, nil
+	})
+	return out, err
+}

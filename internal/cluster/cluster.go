@@ -1,0 +1,215 @@
+// Package cluster implements the distributed, partitioned store the paper
+// deploys Diff-Index on: the HBase architecture of §2.2. Tables are split
+// into key-range regions; each region is one LSM store hosted by a region
+// server; a master assigns regions, detects failures and reassigns; clients
+// cache the partition map and route requests over the simulated network.
+//
+// The package also defines the coprocessor extension point (§7): per-table
+// observers that intercept puts, deletes, flushes and WAL replay — the hooks
+// Diff-Index's scheme observers plug into without touching store internals.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/simnet"
+	"diffindex/internal/vfs"
+)
+
+// Sentinel errors surfaced by cluster RPCs.
+var (
+	// ErrServerDown is returned by every operation on a crashed server.
+	ErrServerDown = errors.New("cluster: region server is down")
+	// ErrRegionNotFound means the addressed region is not hosted by the
+	// server (stale client cache after a reassignment).
+	ErrRegionNotFound = errors.New("cluster: region not hosted here")
+	// ErrNoSuchTable is returned for operations on unknown tables.
+	ErrNoSuchTable = errors.New("cluster: no such table")
+	// ErrTableExists is returned when creating a table that already exists.
+	ErrTableExists = errors.New("cluster: table already exists")
+	// ErrNoLiveServers means region assignment found no live server.
+	ErrNoLiveServers = errors.New("cluster: no live region servers")
+)
+
+// Config sizes a simulated cluster.
+type Config struct {
+	// Servers is the number of region servers. Defaults to 3.
+	Servers int
+	// Net is the network latency model.
+	Net simnet.Config
+	// Disk is the simulated disk profile charged on SSTable/WAL I/O.
+	Disk vfs.LatencyProfile
+	// BlockCacheBytes sizes each region server's block cache (§8.1 gives
+	// 25% of an 8 GiB heap; scaled down here). Zero means the 32 MiB
+	// default; a negative value disables caching entirely.
+	BlockCacheBytes int64
+	// MemtableBytes is the per-region flush threshold. Defaults to 4 MiB.
+	MemtableBytes int64
+	// MaxVersions is per-key version retention at compaction. Defaults to 3.
+	MaxVersions int
+	// CompactionThreshold is the table count triggering compaction.
+	// Defaults to 4.
+	CompactionThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers <= 0 {
+		c.Servers = 3
+	}
+	if c.BlockCacheBytes == 0 {
+		c.BlockCacheBytes = 32 << 20
+	}
+	return c
+}
+
+// RegionCtx is the server-side context handed to coprocessor callbacks.
+type RegionCtx struct {
+	Region  *Region
+	Server  *RegionServer
+	Cluster *Cluster
+}
+
+// Coprocessor is the per-table server-side extension point, mirroring
+// HBase's observer coprocessors (§7). Diff-Index registers one observer per
+// indexed table; its callbacks implement the maintenance schemes.
+type Coprocessor interface {
+	// PostPut runs on the hosting region server after a row put has been
+	// applied to the base region (and before the RPC returns to the
+	// client): the synchronous part of index maintenance.
+	PostPut(ctx RegionCtx, row []byte, cols map[string][]byte, ts kv.Timestamp) error
+	// PostDelete runs after row columns have been tombstoned.
+	PostDelete(ctx RegionCtx, row []byte, cols []string, ts kv.Timestamp) error
+	// PreFlush runs at the start of a region flush while writes are paused:
+	// Diff-Index drains the AUQ here (§5.3).
+	PreFlush(ctx RegionCtx)
+	// OnReplay is invoked for every cell recovered from the WAL when a
+	// region reopens: Diff-Index re-enqueues index work (§5.3).
+	OnReplay(ctx RegionCtx, c kv.Cell)
+	// OnRegionClose is invoked when a region stops being served here
+	// (server crash or shutdown), before its store closes. Diff-Index
+	// tears down the region's AUQ: pending entries are dropped, to be
+	// reconstructed by WAL replay on the next server (§5.3).
+	OnRegionClose(ctx RegionCtx)
+}
+
+// Cluster owns the shared infrastructure: the (simulated) distributed file
+// system, the network, the master and the region servers.
+type Cluster struct {
+	cfg Config
+
+	// FS is the shared fault-tolerant file system (the HDFS stand-in): any
+	// server can open any region's files, which is what makes WAL-replay
+	// recovery on a different server possible (§5.3).
+	FS *vfs.LatencyFS
+	// Net simulates the cluster network.
+	Net *simnet.Network
+	// Master is the management node (table creation, region assignment,
+	// failure handling).
+	Master *Master
+
+	servers map[string]*RegionServer
+	coprocs map[string]Coprocessor // by table name
+
+	// clock issues write timestamps. The paper uses each region server's
+	// System.currentTimeMillis (NTP-synchronized wall clocks); a single
+	// shared counter is the deterministic logical equivalent and keeps
+	// timestamps comparable when a region moves between servers
+	// (DESIGN.md substitution 3).
+	clock *kv.Clock
+}
+
+// New builds a cluster with cfg.Servers region servers, all live.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		FS:      vfs.NewLatencyFS(vfs.NewMemFS(), cfg.Disk),
+		Net:     simnet.New(cfg.Net),
+		servers: make(map[string]*RegionServer),
+		coprocs: make(map[string]Coprocessor),
+		clock:   kv.NewClock(1),
+	}
+	c.Master = newMaster(c)
+	for i := 0; i < cfg.Servers; i++ {
+		id := fmt.Sprintf("rs%d", i+1)
+		c.servers[id] = newRegionServer(c, id)
+	}
+	return c
+}
+
+// RegisterCoprocessor attaches a coprocessor to a table. Register before
+// creating the table so region-open events are observed from the start.
+func (c *Cluster) RegisterCoprocessor(table string, cp Coprocessor) {
+	c.coprocs[table] = cp
+}
+
+func (c *Cluster) coprocessor(table string) Coprocessor { return c.coprocs[table] }
+
+// Server returns a region server by ID (nil if unknown).
+func (c *Cluster) Server(id string) *RegionServer { return c.servers[id] }
+
+// ServerIDs returns all server IDs, live or crashed, in stable order.
+func (c *Cluster) ServerIDs() []string {
+	ids := make([]string, 0, len(c.servers))
+	for i := 0; i < len(c.servers); i++ {
+		ids = append(ids, fmt.Sprintf("rs%d", i+1))
+	}
+	return ids
+}
+
+// LiveServerIDs returns the IDs of servers currently accepting requests.
+func (c *Cluster) LiveServerIDs() []string {
+	var out []string
+	for _, id := range c.ServerIDs() {
+		if !c.servers[id].Crashed() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FlushAll synchronously flushes every region on every live server —
+// experiment setup uses it to move loaded data to SSTables so reads are
+// disk-bound as in §8.1.
+func (c *Cluster) FlushAll() error {
+	for _, id := range c.ServerIDs() {
+		if err := c.servers[id].FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts down every server. All servers are marked down before any
+// region is released, so coprocessor workers observing a dead peer drop
+// their work immediately instead of retrying against servers that are about
+// to close.
+func (c *Cluster) Close() error {
+	for _, id := range c.ServerIDs() {
+		c.servers[id].markDown()
+	}
+	var firstErr error
+	for _, id := range c.ServerIDs() {
+		if err := c.servers[id].close(); err != nil && firstErr == nil && !errors.Is(err, ErrServerDown) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// WaitFor polls cond until it returns true or the timeout elapses, reporting
+// whether the condition was met. Tests and examples use it to wait for
+// asynchronous index convergence.
+func WaitFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return cond()
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Master is the management node (§2.2): it creates tables, assigns regions
+// to region servers, and — standing in for ZooKeeper's failure detection and
+// reassignment — recovers the regions of a crashed server onto live ones,
+// where WAL replay restores their memtables (§5.3).
+type Master struct {
+	cluster *Cluster
+
+	mu     sync.RWMutex
+	tables map[string]*tableMeta
+	rr     int // round-robin assignment cursor
+}
+
+type tableMeta struct {
+	name    string
+	regions []*RegionInfo // sorted by Start
+	// raw tables route by the store key itself (index tables); row tables
+	// route by the row key decoded from composite store keys (base tables).
+	// Region splitting needs this to route existing cells to child regions.
+	raw       bool
+	nextSplit int // counter for child-region IDs
+}
+
+func newMaster(c *Cluster) *Master {
+	return &Master{cluster: c, tables: make(map[string]*tableMeta)}
+}
+
+// CreateTable creates a row-keyed (base) table pre-split at the given
+// routing keys into len(splits)+1 regions, assigned round-robin across live
+// servers. Splits must be sorted and distinct.
+func (m *Master) CreateTable(name string, splits [][]byte) error {
+	return m.createTable(name, splits, false)
+}
+
+// CreateRawTable creates a table whose routing keys ARE its store keys —
+// the layout of global index tables.
+func (m *Master) CreateRawTable(name string, splits [][]byte) error {
+	return m.createTable(name, splits, true)
+}
+
+func (m *Master) createTable(name string, splits [][]byte, raw bool) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty table name")
+	}
+	for i := 1; i < len(splits); i++ {
+		if bytes.Compare(splits[i-1], splits[i]) >= 0 {
+			return fmt.Errorf("cluster: splits must be sorted and distinct")
+		}
+	}
+	m.mu.Lock()
+	if _, ok := m.tables[name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	live := m.cluster.LiveServerIDs()
+	if len(live) == 0 {
+		m.mu.Unlock()
+		return ErrNoLiveServers
+	}
+	meta := &tableMeta{name: name, raw: raw}
+	// Offset the assignment cursor per table so a table and its index
+	// table never land region-aligned on the same servers: a global index
+	// is generally not collocated with the data it indexes, which is
+	// exactly why its maintenance pays remote calls (§3.1).
+	m.rr++
+	bounds := make([][]byte, 0, len(splits)+2)
+	bounds = append(bounds, nil)
+	bounds = append(bounds, splits...)
+	bounds = append(bounds, nil)
+	for i := 0; i < len(bounds)-1; i++ {
+		server := live[m.rr%len(live)]
+		m.rr++
+		meta.regions = append(meta.regions, &RegionInfo{
+			ID:     fmt.Sprintf("%s.r%04d", name, i),
+			Table:  name,
+			Start:  bounds[i],
+			End:    bounds[i+1],
+			Server: server,
+		})
+	}
+	m.tables[name] = meta
+	regions := append([]*RegionInfo(nil), meta.regions...)
+	m.mu.Unlock()
+
+	for _, ri := range regions {
+		if err := m.cluster.Server(ri.Server).OpenRegion(*ri); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasTable reports whether the table exists.
+func (m *Master) HasTable(name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.tables[name]
+	return ok
+}
+
+// RegionsOf returns a copy of the table's region map, sorted by start key.
+func (m *Master) RegionsOf(table string) ([]RegionInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	meta, ok := m.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	out := make([]RegionInfo, len(meta.regions))
+	for i, ri := range meta.regions {
+		out[i] = *ri
+	}
+	return out, nil
+}
+
+// Locate returns the region containing the routing key.
+func (m *Master) Locate(table string, key []byte) (RegionInfo, error) {
+	regions, err := m.RegionsOf(table)
+	if err != nil {
+		return RegionInfo{}, err
+	}
+	i := sort.Search(len(regions), func(i int) bool {
+		return regions[i].End == nil || bytes.Compare(key, regions[i].End) < 0
+	})
+	if i >= len(regions) || !regions[i].Contains(key) {
+		return RegionInfo{}, fmt.Errorf("cluster: no region for key %q in table %s", key, table)
+	}
+	return regions[i], nil
+}
+
+// CrashServer kills a region server and recovers each of its regions on a
+// live server. In HBase this is driven by ZooKeeper heartbeat expiry; here
+// the fault injector calls it directly so experiments control timing.
+func (m *Master) CrashServer(id string) error {
+	server := m.cluster.Server(id)
+	if server == nil {
+		return fmt.Errorf("cluster: unknown server %s", id)
+	}
+	server.crash()
+
+	// Reassign every region that was hosted by the dead server.
+	m.mu.Lock()
+	live := m.cluster.LiveServerIDs()
+	if len(live) == 0 {
+		m.mu.Unlock()
+		return ErrNoLiveServers
+	}
+	var toRecover []*RegionInfo
+	for _, meta := range m.tables {
+		for _, ri := range meta.regions {
+			if ri.Server == id {
+				ri.Server = live[m.rr%len(live)]
+				m.rr++
+				toRecover = append(toRecover, ri)
+			}
+		}
+	}
+	recover := make([]RegionInfo, len(toRecover))
+	for i, ri := range toRecover {
+		recover[i] = *ri
+	}
+	m.mu.Unlock()
+
+	for _, ri := range recover {
+		if err := m.cluster.Server(ri.Server).OpenRegion(ri); err != nil {
+			return err
+		}
+	}
+	return nil
+}

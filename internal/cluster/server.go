@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/lsm"
+	"diffindex/internal/sstable"
+)
+
+// RegionServer hosts regions and serves puts, gets and scans for their key
+// ranges (§2.2). A server can crash (losing all in-memory state: memtables
+// and any coprocessor queues) and its regions then recover on other servers
+// from the shared file system.
+type RegionServer struct {
+	id      string
+	cluster *Cluster
+	cache   *sstable.BlockCache
+
+	mu      sync.RWMutex
+	regions map[string]*Region
+	crashed atomic.Bool
+}
+
+func newRegionServer(c *Cluster, id string) *RegionServer {
+	return &RegionServer{
+		id:      id,
+		cluster: c,
+		cache:   sstable.NewBlockCache(c.cfg.BlockCacheBytes),
+		regions: make(map[string]*Region),
+	}
+}
+
+// ID returns the server's node name (also its simnet address).
+func (s *RegionServer) ID() string { return s.id }
+
+// Crashed reports whether the server is down.
+func (s *RegionServer) Crashed() bool { return s.crashed.Load() }
+
+func regionDir(info RegionInfo) string {
+	return fmt.Sprintf("tables/%s/%s", info.Table, info.ID)
+}
+
+// mapStoreErr converts a closed-store error into a routing miss: a request
+// that raced a region close (crash, split, merge) should re-route and
+// retry, exactly as if the region had already moved.
+func mapStoreErr(err error) error {
+	if errors.Is(err, lsm.ErrClosed) {
+		return ErrRegionNotFound
+	}
+	return err
+}
+
+// OpenRegion opens (or recovers) a region on this server. Cells found in the
+// region's WAL are replayed into a fresh memtable and surfaced to the
+// table's coprocessor via OnReplay, after the region is fully open (§5.3:
+// replayed puts re-enter the AUQ).
+func (s *RegionServer) OpenRegion(info RegionInfo) error {
+	if s.crashed.Load() {
+		return ErrServerDown
+	}
+	region := &Region{Info: info, server: s}
+	var replayed []kv.Cell
+	store, err := lsm.Open(lsm.Options{
+		FS:                  s.cluster.FS,
+		Dir:                 regionDir(info),
+		MemtableBytes:       s.cluster.cfg.MemtableBytes,
+		MaxVersions:         s.cluster.cfg.MaxVersions,
+		CompactionThreshold: s.cluster.cfg.CompactionThreshold,
+		BlockCache:          s.cache,
+		OnReplay: func(c kv.Cell) {
+			s.cluster.clock.Observe(c.Ts)
+			replayed = append(replayed, c.Clone())
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("open region %s: %w", info.ID, err)
+	}
+	region.store = store
+
+	ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster}
+	store.RegisterPreFlush(func() {
+		if cp := s.cluster.coprocessor(info.Table); cp != nil {
+			cp.PreFlush(ctx)
+		}
+	})
+
+	s.mu.Lock()
+	s.regions[info.ID] = region
+	s.mu.Unlock()
+
+	if cp := s.cluster.coprocessor(info.Table); cp != nil {
+		for _, c := range replayed {
+			cp.OnReplay(ctx, c)
+		}
+	}
+	return nil
+}
+
+// CloseRegion closes a hosted region, leaving its files for another server.
+func (s *RegionServer) CloseRegion(regionID string) error {
+	s.mu.Lock()
+	region, ok := s.regions[regionID]
+	delete(s.regions, regionID)
+	s.mu.Unlock()
+	if !ok {
+		return ErrRegionNotFound
+	}
+	if cp := s.cluster.coprocessor(region.Info.Table); cp != nil {
+		cp.OnRegionClose(RegionCtx{Region: region, Server: s, Cluster: s.cluster})
+	}
+	return region.store.Close()
+}
+
+func (s *RegionServer) region(id string) (*Region, error) {
+	if s.crashed.Load() {
+		return nil, ErrServerDown
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	region, ok := s.regions[id]
+	if !ok {
+		return nil, ErrRegionNotFound
+	}
+	if region.frozen.Load() {
+		return nil, ErrRegionNotFound // mid-split: clients re-route and retry
+	}
+	return region, nil
+}
+
+// FreezeRegion makes a hosted region reject requests (used while a split is
+// in flight). The region's store stays open for the split's own flush.
+func (s *RegionServer) FreezeRegion(id string) error {
+	if s.crashed.Load() {
+		return ErrServerDown
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	region, ok := s.regions[id]
+	if !ok {
+		return ErrRegionNotFound
+	}
+	region.frozen.Store(true)
+	return nil
+}
+
+// PutRow applies a multi-column row put: the server assigns the timestamp,
+// logs and applies the cells, then invokes the table's coprocessor (the
+// synchronous part of index maintenance runs inside this RPC). When wantOld
+// is set the previous visible row values (at ts−δ) are returned — the hook
+// async-session uses to build client-side delete markers (§5.2).
+func (s *RegionServer) PutRow(regionID string, row []byte, cols map[string][]byte, wantOld bool) (kv.Timestamp, map[string][]byte, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return 0, nil, err
+	}
+	ts := s.cluster.clock.Next()
+
+	var old map[string][]byte
+	if wantOld {
+		if old, err = region.LocalGetRow(row, ts-kv.Delta); err != nil {
+			return 0, nil, mapStoreErr(err)
+		}
+	}
+
+	cells := make([]kv.Cell, 0, len(cols))
+	for col, val := range cols {
+		cells = append(cells, kv.Cell{Key: kv.BaseKey(row, []byte(col)), Value: val, Ts: ts, Kind: kv.KindPut})
+	}
+	// The whole put pipeline — base apply plus coprocessor — runs inside the
+	// store's write gate, making asynchronous index work enqueued by the
+	// observer atomic with the memtable insert (the PR(Flushed) = ∅
+	// invariant of §5.3). Index maintenance failures never fail the base put
+	// (§6.2): the observer queues retries itself.
+	err = region.store.Pipeline(func() error {
+		if err := region.store.ApplyBatchLocked(cells); err != nil {
+			return err
+		}
+		if cp := s.cluster.coprocessor(region.Info.Table); cp != nil {
+			ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster}
+			_ = cp.PostPut(ctx, row, cols, ts)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, mapStoreErr(err)
+	}
+	return ts, old, nil
+}
+
+// DeleteRow tombstones the given columns of a row (all currently visible
+// columns when cols is nil), then invokes the coprocessor. Deletion is
+// handled like a put of a tombstone (§4.3).
+func (s *RegionServer) DeleteRow(regionID string, row []byte, cols []string) (kv.Timestamp, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return 0, err
+	}
+	ts := s.cluster.clock.Next()
+	if cols == nil {
+		existing, err := region.LocalGetRow(row, ts-kv.Delta)
+		if err != nil {
+			return 0, err
+		}
+		for col := range existing {
+			cols = append(cols, col)
+		}
+	}
+	cells := make([]kv.Cell, 0, len(cols))
+	for _, col := range cols {
+		cells = append(cells, kv.Cell{Key: kv.BaseKey(row, []byte(col)), Ts: ts, Kind: kv.KindDelete})
+	}
+	err = region.store.Pipeline(func() error {
+		if err := region.store.ApplyBatchLocked(cells); err != nil {
+			return err
+		}
+		if cp := s.cluster.coprocessor(region.Info.Table); cp != nil {
+			ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster}
+			_ = cp.PostDelete(ctx, row, cols, ts)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, mapStoreErr(err)
+	}
+	return ts, nil
+}
+
+// Apply writes pre-timestamped cells directly (no coprocessor): the raw
+// path used for index-table maintenance operations and idempotent
+// redelivery, where timestamps must equal the base entry's (§4.3).
+func (s *RegionServer) Apply(regionID string, cells []kv.Cell) error {
+	region, err := s.region(regionID)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		s.cluster.clock.Observe(c.Ts)
+	}
+	return mapStoreErr(region.store.ApplyBatch(cells))
+}
+
+// Get reads the newest non-deleted version of a store key visible at ts.
+func (s *RegionServer) Get(regionID string, key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return kv.Cell{}, false, err
+	}
+	c, ok, err := region.store.Get(key, ts)
+	return c, ok, mapStoreErr(err)
+}
+
+// Scan returns the visible versions of store keys in [start, end) at ts.
+func (s *RegionServer) Scan(regionID string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return nil, err
+	}
+	results, err := region.store.Scan(start, end, ts, limit)
+	return results, mapStoreErr(err)
+}
+
+// Flush flushes one region. It is an administrative operation and works on
+// frozen (mid-split) regions too.
+func (s *RegionServer) Flush(regionID string) error {
+	if s.crashed.Load() {
+		return ErrServerDown
+	}
+	s.mu.RLock()
+	region, ok := s.regions[regionID]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrRegionNotFound
+	}
+	return region.store.Flush()
+}
+
+// FlushAll flushes every hosted region.
+func (s *RegionServer) FlushAll() error {
+	if s.crashed.Load() {
+		return nil // crashed servers hold no regions to flush
+	}
+	s.mu.RLock()
+	regions := make([]*Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		regions = append(regions, r)
+	}
+	s.mu.RUnlock()
+	for _, r := range regions {
+		if err := r.store.Flush(); err != nil && !errors.Is(err, lsm.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regions returns the infos of all hosted regions.
+func (s *RegionServer) Regions() []RegionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RegionInfo, 0, len(s.regions))
+	for _, r := range s.regions {
+		out = append(out, r.Info)
+	}
+	return out
+}
+
+// crash kills the server: every in-memory structure (memtables, block
+// cache, any coprocessor queue keyed to this server) is lost; WAL segments
+// and SSTables survive in the shared FS. Subsequent RPCs fail with
+// ErrServerDown. Idempotent: regions are released exactly once.
+func (s *RegionServer) crash() {
+	s.crashed.Store(true)
+	s.mu.Lock()
+	regions := s.regions
+	s.regions = make(map[string]*Region)
+	s.mu.Unlock()
+	if len(regions) == 0 {
+		return
+	}
+	for _, r := range regions {
+		if cp := s.cluster.coprocessor(r.Info.Table); cp != nil {
+			cp.OnRegionClose(RegionCtx{Region: r, Server: s, Cluster: s.cluster})
+		}
+		r.store.Close() // releases files; unflushed data stays in the WAL
+	}
+	s.cache = sstable.NewBlockCache(s.cluster.cfg.BlockCacheBytes)
+}
+
+// markDown makes the server reject requests without releasing its regions
+// yet. Cluster shutdown marks every server down first so no surviving APS
+// worker wastes retries against peers that are about to close.
+func (s *RegionServer) markDown() { s.crashed.Store(true) }
+
+func (s *RegionServer) close() error {
+	s.crash()
+	return nil
+}

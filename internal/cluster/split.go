@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/lsm"
+)
+
+// SplitRegion splits a region in two at splitKey (a routing key strictly
+// inside the region's range), like HBase's manual region split. The lower
+// child stays on the region's server; the upper child is assigned
+// round-robin. While the split runs the parent rejects requests and clients
+// transparently retry with backoff until the children are registered.
+//
+// The sequence is: freeze the parent (new mutations bounce), flush it (the
+// pre-flush hook drains its AUQ, so no asynchronous index work is pending
+// and the WAL rolls forward), close it, re-read its persisted data, route
+// every cell — base cells by row, local-index cells by their row, raw cells
+// by themselves — into the matching child, and publish the children in the
+// partition map. Timestamps are preserved, so the copy is idempotent under
+// LSM semantics.
+func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
+	// Locate the parent and validate the split point.
+	m.mu.Lock()
+	var meta *tableMeta
+	var idx int
+	var parent *RegionInfo
+	for _, tm := range m.tables {
+		for i, ri := range tm.regions {
+			if ri.ID == regionID {
+				meta, idx, parent = tm, i, ri
+			}
+		}
+	}
+	if parent == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: unknown region %s", regionID)
+	}
+	if !parent.Contains(splitKey) || (parent.Start != nil && bytes.Equal(splitKey, parent.Start)) {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: split key %q outside region %s", splitKey, parent)
+	}
+	server := m.cluster.Server(parent.Server)
+	live := m.cluster.LiveServerIDs()
+	if server == nil || server.Crashed() || len(live) == 0 {
+		m.mu.Unlock()
+		return ErrServerDown
+	}
+	upperServer := live[m.rr%len(live)]
+	m.rr++
+	meta.nextSplit++
+	lower := &RegionInfo{
+		ID:     fmt.Sprintf("%s.s%04da", parent.ID, meta.nextSplit),
+		Table:  parent.Table,
+		Start:  parent.Start,
+		End:    append([]byte(nil), splitKey...),
+		Server: parent.Server,
+	}
+	upper := &RegionInfo{
+		ID:     fmt.Sprintf("%s.s%04db", parent.ID, meta.nextSplit),
+		Table:  parent.Table,
+		Start:  append([]byte(nil), splitKey...),
+		End:    parent.End,
+		Server: upperServer,
+	}
+	raw := meta.raw
+	m.mu.Unlock()
+
+	// Freeze: the parent stops accepting requests; clients back off.
+	if err := server.FreezeRegion(regionID); err != nil {
+		return err
+	}
+	// Flush drains the region's AUQ (pre-flush hook) and persists the
+	// memtable; the WAL rolls forward, so the persisted SSTables are the
+	// complete region state.
+	if err := server.Flush(regionID); err != nil {
+		return err
+	}
+	if err := server.CloseRegion(regionID); err != nil {
+		return err
+	}
+
+	// Re-open the parent's store read-only to stream its live data. The
+	// WAL is empty after the flush; replaying it is a no-op.
+	parentStore, err := lsm.Open(lsm.Options{
+		FS:                 m.cluster.FS,
+		Dir:                regionDir(*parent),
+		DisableAutoFlush:   true,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: reopen parent for split: %w", err)
+	}
+	cells, err := parentStore.Scan(nil, nil, kv.MaxTimestamp, 0)
+	parentStore.Close()
+	if err != nil {
+		return err
+	}
+
+	// Open the children and route the parent's cells into them.
+	if err := m.cluster.Server(lower.Server).OpenRegion(*lower); err != nil {
+		return err
+	}
+	if err := m.cluster.Server(upper.Server).OpenRegion(*upper); err != nil {
+		return err
+	}
+	var lowerCells, upperCells []kv.Cell
+	for _, res := range cells {
+		route, err := routingKeyOf(raw, res.Key)
+		if err != nil {
+			return fmt.Errorf("cluster: split routing: %w", err)
+		}
+		cell := kv.Cell{Key: res.Key, Value: res.Value, Ts: res.Ts, Kind: kv.KindPut}
+		if bytes.Compare(route, splitKey) < 0 {
+			lowerCells = append(lowerCells, cell)
+		} else {
+			upperCells = append(upperCells, cell)
+		}
+	}
+	if err := applyChunked(m.cluster.Server(lower.Server), lower.ID, lowerCells); err != nil {
+		return err
+	}
+	if err := applyChunked(m.cluster.Server(upper.Server), upper.ID, upperCells); err != nil {
+		return err
+	}
+
+	// Publish the children; clients refresh on their next routing miss.
+	m.mu.Lock()
+	meta.regions = append(meta.regions[:idx], append([]*RegionInfo{lower, upper}, meta.regions[idx+1:]...)...)
+	m.mu.Unlock()
+
+	// Garbage-collect the parent's files (its data now lives in the
+	// children's stores and WALs).
+	if names, err := m.cluster.FS.List(regionDir(*parent) + "/"); err == nil {
+		for _, name := range names {
+			m.cluster.FS.Remove(name)
+		}
+	}
+	return nil
+}
+
+// MergeRegions merges two ADJACENT regions of a table into one, the inverse
+// of SplitRegion (HBase's region merge). Both parents are frozen, flushed
+// (draining their AUQs) and closed; their data streams into a fresh child
+// covering the union range, hosted on the lower parent's server.
+func (m *Master) MergeRegions(lowerID, upperID string) error {
+	m.mu.Lock()
+	var meta *tableMeta
+	var idx int // index of the lower region
+	for _, tm := range m.tables {
+		for i, ri := range tm.regions {
+			if ri.ID == lowerID {
+				meta, idx = tm, i
+			}
+		}
+	}
+	if meta == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: unknown region %s", lowerID)
+	}
+	if idx+1 >= len(meta.regions) || meta.regions[idx+1].ID != upperID {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: regions %s and %s are not adjacent", lowerID, upperID)
+	}
+	lower, upper := meta.regions[idx], meta.regions[idx+1]
+	ls := m.cluster.Server(lower.Server)
+	us := m.cluster.Server(upper.Server)
+	if ls == nil || us == nil || ls.Crashed() || us.Crashed() {
+		m.mu.Unlock()
+		return ErrServerDown
+	}
+	meta.nextSplit++
+	child := &RegionInfo{
+		ID:     fmt.Sprintf("%s.m%04d", lower.ID, meta.nextSplit),
+		Table:  lower.Table,
+		Start:  lower.Start,
+		End:    upper.End,
+		Server: lower.Server,
+	}
+	m.mu.Unlock()
+
+	// Freeze, flush (drain), close both parents.
+	for _, p := range []struct {
+		s  *RegionServer
+		id string
+	}{{ls, lowerID}, {us, upperID}} {
+		if err := p.s.FreezeRegion(p.id); err != nil {
+			return err
+		}
+		if err := p.s.Flush(p.id); err != nil {
+			return err
+		}
+		if err := p.s.CloseRegion(p.id); err != nil {
+			return err
+		}
+	}
+
+	// Stream both parents' persisted data into the child.
+	if err := m.cluster.Server(child.Server).OpenRegion(*child); err != nil {
+		return err
+	}
+	for _, parent := range []*RegionInfo{lower, upper} {
+		store, err := lsm.Open(lsm.Options{
+			FS:                 m.cluster.FS,
+			Dir:                regionDir(*parent),
+			DisableAutoFlush:   true,
+			DisableAutoCompact: true,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: reopen parent for merge: %w", err)
+		}
+		results, err := store.Scan(nil, nil, kv.MaxTimestamp, 0)
+		store.Close()
+		if err != nil {
+			return err
+		}
+		cells := make([]kv.Cell, len(results))
+		for i, res := range results {
+			cells[i] = kv.Cell{Key: res.Key, Value: res.Value, Ts: res.Ts, Kind: kv.KindPut}
+		}
+		if err := applyChunked(m.cluster.Server(child.Server), child.ID, cells); err != nil {
+			return err
+		}
+	}
+
+	// Publish the child, GC the parents' files.
+	m.mu.Lock()
+	meta.regions = append(meta.regions[:idx], append([]*RegionInfo{child}, meta.regions[idx+2:]...)...)
+	m.mu.Unlock()
+	for _, parent := range []*RegionInfo{lower, upper} {
+		if names, err := m.cluster.FS.List(regionDir(*parent) + "/"); err == nil {
+			for _, name := range names {
+				m.cluster.FS.Remove(name)
+			}
+		}
+	}
+	return nil
+}
+
+// routingKeyOf maps a store key to its routing key: identity for raw
+// tables; for row tables, the row of a base cell or of a local-index entry.
+func routingKeyOf(raw bool, storeKey []byte) ([]byte, error) {
+	if raw {
+		return storeKey, nil
+	}
+	if kv.IsLocalIndexKey(storeKey) {
+		return kv.LocalIndexRow(storeKey)
+	}
+	row, _, err := kv.SplitBaseKey(storeKey)
+	return row, err
+}
+
+// applyChunked writes cells to a region in batches.
+func applyChunked(s *RegionServer, regionID string, cells []kv.Cell) error {
+	const chunk = 256
+	for len(cells) > 0 {
+		n := chunk
+		if n > len(cells) {
+			n = len(cells)
+		}
+		if err := s.Apply(regionID, cells[:n]); err != nil {
+			return err
+		}
+		cells = cells[n:]
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"diffindex/internal/kv"
+)
+
+func TestSplitRegionBasic(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if err := c.Master.CreateTable("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c, "cl")
+	for i := 0; i < 60; i++ {
+		row := []byte(fmt.Sprintf("row%03d", i))
+		if _, err := cl.Put("t", row, map[string][]byte{"v": []byte(fmt.Sprint(i)), "w": []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions, _ := c.Master.RegionsOf("t")
+	if len(regions) != 1 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	if err := c.Master.SplitRegion(regions[0].ID, []byte("row030")); err != nil {
+		t.Fatal(err)
+	}
+	regions, _ = c.Master.RegionsOf("t")
+	if len(regions) != 2 {
+		t.Fatalf("regions after split = %d", len(regions))
+	}
+	if string(regions[0].End) != "row030" || string(regions[1].Start) != "row030" {
+		t.Errorf("split bounds wrong: %v", regions)
+	}
+
+	// Every row readable, multi-column intact, through the stale cache.
+	for i := 0; i < 60; i++ {
+		row := []byte(fmt.Sprintf("row%03d", i))
+		cols, err := cl.GetRow("t", row)
+		if err != nil || len(cols) != 2 || string(cols["v"]) != fmt.Sprint(i) {
+			t.Fatalf("row %s after split = %v err=%v", row, cols, err)
+		}
+	}
+	// Scans stitch across the new boundary in order.
+	rows, err := cl.Scan("t", nil, nil, 0)
+	if err != nil || len(rows) != 60 {
+		t.Fatalf("scan = %d rows err=%v", len(rows), err)
+	}
+	// Writes to both children work.
+	if _, err := cl.Put("t", []byte("row010"), map[string][]byte{"v": []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("t", []byte("row050"), map[string][]byte{"v": []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRegionErrors(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.Master.CreateTable("t", splits("m"))
+	regions, _ := c.Master.RegionsOf("t")
+	if err := c.Master.SplitRegion("ghost", []byte("x")); err == nil {
+		t.Error("split of unknown region succeeded")
+	}
+	// Split key outside the region.
+	if err := c.Master.SplitRegion(regions[0].ID, []byte("z")); err == nil {
+		t.Error("out-of-range split key accepted")
+	}
+	// Split key equal to the region start.
+	if err := c.Master.SplitRegion(regions[1].ID, []byte("m")); err == nil {
+		t.Error("split at region start accepted")
+	}
+}
+
+func TestSplitPreservesTimestampsAndTombstones(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.Master.CreateTable("t", nil)
+	cl := NewClient(c, "cl")
+	ts1, _ := cl.Put("t", []byte("a"), map[string][]byte{"v": []byte("1")})
+	cl.Put("t", []byte("b"), map[string][]byte{"v": []byte("1")})
+	cl.Delete("t", []byte("b"), nil)
+	regions, _ := c.Master.RegionsOf("t")
+	if err := c.Master.SplitRegion(regions[0].ID, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	v, ts, ok, err := cl.Get("t", []byte("a"), "v")
+	if err != nil || !ok || string(v) != "1" || ts != ts1 {
+		t.Errorf("Get(a) = %q ts=%d (want %d) ok=%v err=%v", v, ts, ts1, ok, err)
+	}
+	if _, _, ok, _ := cl.Get("t", []byte("b"), "v"); ok {
+		t.Error("deleted row resurrected by split")
+	}
+}
+
+func TestSplitUnderConcurrentWrites(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.Master.CreateTable("t", nil)
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := NewClient(c, fmt.Sprintf("w%d", w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				row := []byte(fmt.Sprintf("k%d-%05d", w, i))
+				if _, err := cl.Put("t", row, map[string][]byte{"v": []byte("x")}); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					if i < 10 {
+						started.Done()
+					}
+					return
+				}
+				if i == 9 {
+					started.Done() // 10 puts in: real data exists pre-split
+				}
+			}
+		}(w)
+	}
+	started.Wait()
+	regions, _ := c.Master.RegionsOf("t")
+	if err := c.Master.SplitRegion(regions[0].ID, []byte("k2")); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// All written rows survive.
+	cl := NewClient(c, "verify")
+	rows, err := cl.Scan("t", nil, nil, 0)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("scan after concurrent split = %d err=%v", len(rows), err)
+	}
+	for _, r := range rows {
+		if string(r.Cols["v"]) != "x" {
+			t.Fatalf("row %q corrupted: %v", r.Key, r.Cols)
+		}
+	}
+}
+
+func TestSplitRawTable(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.Master.CreateRawTable("idx", nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c, "cl")
+	for i := 0; i < 20; i++ {
+		key := kv.IndexKey([]byte(fmt.Sprintf("v%02d", i)), []byte("row"))
+		if err := cl.RawApply("idx", key, []kv.Cell{{Key: key, Ts: kv.Timestamp(i + 1), Kind: kv.KindPut}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions, _ := c.Master.RegionsOf("idx")
+	splitAt := kv.IndexValuePrefix([]byte("v10"))
+	if err := c.Master.SplitRegion(regions[0].ID, splitAt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.RawScan("idx", nil, nil, kv.MaxTimestamp, 0)
+	if err != nil || len(res) != 20 {
+		t.Fatalf("raw scan after split = %d err=%v", len(res), err)
+	}
+	regions, _ = c.Master.RegionsOf("idx")
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+}
+
+func TestSplitFreesParentFiles(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.Master.CreateTable("t", nil)
+	cl := NewClient(c, "cl")
+	for i := 0; i < 20; i++ {
+		cl.Put("t", []byte(fmt.Sprintf("r%02d", i)), map[string][]byte{"v": []byte("x")})
+	}
+	regions, _ := c.Master.RegionsOf("t")
+	parentDir := regionDir(regions[0]) + "/"
+	if err := c.Master.SplitRegion(regions[0].ID, []byte("r10")); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := c.FS.List(parentDir)
+	if len(names) != 0 {
+		t.Errorf("parent files not GCed: %v", names)
+	}
+}
+
+func TestMergeRegions(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if err := c.Master.CreateTable("t", splits("m")); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c, "cl")
+	for i := 0; i < 40; i++ {
+		row := []byte(fmt.Sprintf("%c%02d", 'a'+byte(i%26), i))
+		if _, err := cl.Put("t", row, map[string][]byte{"v": []byte(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions, _ := c.Master.RegionsOf("t")
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	if err := c.Master.MergeRegions(regions[0].ID, regions[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	regions, _ = c.Master.RegionsOf("t")
+	if len(regions) != 1 || regions[0].Start != nil || regions[0].End != nil {
+		t.Fatalf("merged regions = %v", regions)
+	}
+	rows, err := cl.Scan("t", nil, nil, 0)
+	if err != nil || len(rows) != 40 {
+		t.Fatalf("scan after merge = %d err=%v", len(rows), err)
+	}
+	// Writes keep working on the child.
+	if _, err := cl.Put("t", []byte("zzz"), map[string][]byte{"v": []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	// Split-then-merge round trip.
+	regions, _ = c.Master.RegionsOf("t")
+	if err := c.Master.SplitRegion(regions[0].ID, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	regions, _ = c.Master.RegionsOf("t")
+	if err := c.Master.MergeRegions(regions[0].ID, regions[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = cl.Scan("t", nil, nil, 0)
+	if len(rows) != 41 {
+		t.Fatalf("rows after split+merge = %d", len(rows))
+	}
+}
+
+func TestMergeRegionsErrors(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.Master.CreateTable("t", splits("g", "p"))
+	regions, _ := c.Master.RegionsOf("t")
+	if err := c.Master.MergeRegions("ghost", regions[0].ID); err == nil {
+		t.Error("merge of unknown region succeeded")
+	}
+	// Non-adjacent pair.
+	if err := c.Master.MergeRegions(regions[0].ID, regions[2].ID); err == nil {
+		t.Error("merge of non-adjacent regions succeeded")
+	}
+	// Reversed order is also non-adjacent by definition.
+	if err := c.Master.MergeRegions(regions[1].ID, regions[0].ID); err == nil {
+		t.Error("reversed merge succeeded")
+	}
+}

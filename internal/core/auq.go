@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+)
+
+// task is one unit of asynchronous index work: a base mutation whose index
+// maintenance the APS must perform. The paper's AUQ stores "the put"
+// (Algorithm 3, AU1); our task carries the mutated columns plus the base
+// timestamp, which is everything Algorithm 4 needs.
+type task struct {
+	row []byte
+	ts  kv.Timestamp
+	// putCols holds the written column values for puts; nil for deletes.
+	putCols map[string][]byte
+	// delCols names the tombstoned columns for deletes; nil for puts.
+	delCols []string
+	// enqueuedAt is T1 of the staleness measurement (§8.2 "Index
+	// consistency in async-simple"): the moment the base data persisted.
+	enqueuedAt time.Time
+	// allIndexes widens the task from asynchronous indexes only (the
+	// normal AU1 path) to every index on the table: set for tasks created
+	// by WAL replay and by failed synchronous operations, where work for
+	// sync-scheme indexes may have been lost and redelivery is idempotent.
+	allIndexes bool
+}
+
+// auq is the asynchronous update queue of one region, plus its asynchronous
+// processing service (APS) workers. The paper describes one AUQ per region
+// server; scoping the queue per region preserves its semantics (the server's
+// AUQ is the union of its regions' queues) while making the
+// drain-before-flush protocol exact: a region's flush waits precisely for
+// the entries whose base data is in that region's memtable (see DESIGN.md).
+type auq struct {
+	m   *Manager
+	ctx cluster.RegionCtx
+
+	ch      chan task
+	pending atomic.Int64 // queued + in-flight tasks
+	wg      sync.WaitGroup
+
+	// mu orders enqueues against kill: enqueuers hold it shared while
+	// sending, kill takes it exclusively before closing the channel.
+	mu     sync.RWMutex
+	killed atomic.Bool
+}
+
+func newAUQ(m *Manager, ctx cluster.RegionCtx) *auq {
+	q := &auq{
+		m:   m,
+		ctx: ctx,
+		ch:  make(chan task, m.opts.QueueCapacity),
+	}
+	for i := 0; i < m.opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// enqueue adds a task (AU1). It is always called inside the region's write
+// pipeline, so it cannot race with the exclusive pause-and-drain phase of a
+// flush. A full queue applies backpressure to the writer — the resource
+// contention the paper observes for async at high load (§8.2, Fig. 7).
+func (q *auq) enqueue(t task) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.killed.Load() {
+		return // region is gone; WAL replay will reconstruct the work
+	}
+	q.pending.Add(1)
+	// A full queue blocks here (backpressure); the workers keep consuming,
+	// and kill cannot close the channel while we hold the lock shared.
+	q.ch <- t
+}
+
+// drain blocks until every queued and in-flight task has completed — the
+// "1. pause & drain" step of Figure 5. It runs inside the store's exclusive
+// write gate, which is what pauses the AUQ's intake: no pipeline can
+// enqueue while the flush holds the gate. Returns early if the region dies.
+func (q *auq) drain() {
+	for q.pending.Load() > 0 {
+		if q.killed.Load() || q.ctx.Server.Crashed() {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// kill tears the queue down: workers exit and pending tasks are dropped.
+// Dropped work is reconstructed by WAL replay when the region reopens
+// (§5.3: replayed puts re-enter the AUQ, idempotently).
+func (q *auq) kill() {
+	q.mu.Lock()
+	if !q.killed.CompareAndSwap(false, true) {
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	close(q.ch)
+	q.wg.Wait()
+}
+
+func (q *auq) worker() {
+	defer q.wg.Done()
+	for t := range q.ch {
+		q.process(t)
+		q.pending.Add(-1)
+	}
+	// Drain remaining pending count for anyone stuck in drain().
+	for range q.ch {
+		q.pending.Add(-1)
+	}
+}
+
+// process performs the background index maintenance for one task
+// (Algorithm 4): read the pre-image at ts−δ, delete superseded index
+// entries, insert the new ones. Transient failures are retried with backoff
+// until the region dies; this is what guarantees eventual execution (§5.1).
+func (q *auq) process(t task) {
+	backoff := 200 * time.Microsecond
+	for {
+		err := q.m.applyIndexUpdates(q.ctx, t, true)
+		if err == nil {
+			q.m.observeStaleness(t.enqueuedAt)
+			return
+		}
+		if q.killed.Load() || q.ctx.Server.Crashed() {
+			return // dropped; WAL replay reconstructs it
+		}
+		time.Sleep(backoff)
+		if backoff < 20*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// QueueDepth returns the number of queued plus in-flight tasks (used by
+// experiments to wait for convergence and to report AUQ pressure).
+func (q *auq) depth() int64 { return q.pending.Load() }

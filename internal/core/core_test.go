@@ -1,0 +1,619 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+)
+
+// env is a small cluster with one base table ("items") and a Diff-Index
+// manager, shared test scaffolding.
+type env struct {
+	c   *cluster.Cluster
+	m   *Manager
+	cl  *cluster.Client
+	tbl string
+}
+
+func newEnv(t testing.TB, servers int, opts ManagerOptions) *env {
+	t.Helper()
+	c := cluster.New(cluster.Config{Servers: servers})
+	t.Cleanup(func() { c.Close() })
+	m := NewManager(c, opts)
+	if err := c.Master.CreateTable("items", [][]byte{[]byte("item500")}); err != nil {
+		t.Fatal(err)
+	}
+	return &env{c: c, m: m, cl: cluster.NewClient(c, "testclient"), tbl: "items"}
+}
+
+func (e *env) createIndex(t testing.TB, scheme Scheme, cols ...string) IndexDef {
+	t.Helper()
+	def := IndexDef{Table: e.tbl, Columns: cols, Scheme: scheme}
+	if err := e.m.CreateIndex(def, nil); err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+func (e *env) put(t testing.TB, row, col, val string) kv.Timestamp {
+	t.Helper()
+	ts, err := e.cl.Put(e.tbl, []byte(row), map[string][]byte{col: []byte(val)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func (e *env) lookupRows(t testing.TB, cols []string, value string) []string {
+	t.Helper()
+	hits, err := e.m.GetByIndex(e.cl, e.tbl, cols, []byte(value))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = string(h.Row)
+	}
+	return out
+}
+
+// rawIndexEntries returns every physically present (non-tombstoned) entry
+// in an index table.
+func (e *env) rawIndexEntries(t testing.TB, def IndexDef) []string {
+	t.Helper()
+	results, err := e.cl.RawScan(def.Name(), nil, nil, kv.MaxTimestamp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		v, row, err := kv.SplitIndexKey(r.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf("%s→%s", v, row))
+	}
+	return out
+}
+
+func TestSchemeStringsAndValidate(t *testing.T) {
+	names := map[Scheme]string{
+		SyncFull: "sync-full", SyncInsert: "sync-insert",
+		AsyncSimple: "async-simple", AsyncSession: "async-session",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme must render")
+	}
+	if !AsyncSimple.Asynchronous() || !AsyncSession.Asynchronous() || SyncFull.Asynchronous() || SyncInsert.Asynchronous() {
+		t.Error("Asynchronous() wrong")
+	}
+
+	good := IndexDef{Table: "t", Columns: []string{"a", "b"}, Scheme: SyncFull}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	if good.Name() != "idx_t_a_b" {
+		t.Errorf("Name = %q", good.Name())
+	}
+	bad := []IndexDef{
+		{Columns: []string{"a"}},
+		{Table: "t"},
+		{Table: "t", Columns: []string{""}},
+		{Table: "t", Columns: []string{"a", "a"}},
+		{Table: "t", Columns: []string{"a"}, Scheme: Scheme(42)},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad def %d validated", i)
+		}
+	}
+	if !good.Covers(map[string][]byte{"b": nil}) || good.Covers(map[string][]byte{"z": nil}) {
+		t.Error("Covers wrong")
+	}
+	if !good.CoversNames([]string{"x", "a"}) || good.CoversNames([]string{"x"}) {
+		t.Error("CoversNames wrong")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := NewCatalog()
+	d1 := IndexDef{Table: "t", Columns: []string{"a"}, Scheme: SyncFull}
+	d2 := IndexDef{Table: "t", Columns: []string{"b"}, Scheme: AsyncSimple}
+	if err := cat.Add(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(d1); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if err := cat.Add(d2); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.IndexesOn("t"); len(got) != 2 {
+		t.Errorf("IndexesOn = %v", got)
+	}
+	if got := cat.IndexesOn("other"); len(got) != 0 {
+		t.Errorf("IndexesOn(other) = %v", got)
+	}
+	if d, ok := cat.Find("t", "b"); !ok || d.Scheme != AsyncSimple {
+		t.Error("Find(b) failed")
+	}
+	if _, ok := cat.Find("t", "z"); ok {
+		t.Error("Find(z) succeeded")
+	}
+	if !cat.Remove("t", "idx_t_a") {
+		t.Error("Remove failed")
+	}
+	if cat.Remove("t", "idx_t_a") {
+		t.Error("double Remove succeeded")
+	}
+	if _, ok := cat.Find("t", "a"); ok {
+		t.Error("removed index still found")
+	}
+}
+
+func TestIndexValueComposite(t *testing.T) {
+	single := IndexDef{Table: "t", Columns: []string{"a"}}
+	if v, ok := indexValue(single, map[string][]byte{"a": []byte("x")}); !ok || string(v) != "x" {
+		t.Errorf("single = %q ok=%v", v, ok)
+	}
+	if _, ok := indexValue(single, map[string][]byte{}); ok {
+		t.Error("missing column produced a value")
+	}
+	comp := IndexDef{Table: "t", Columns: []string{"a", "b"}}
+	v1, ok1 := indexValue(comp, map[string][]byte{"a": []byte("x"), "b": []byte("y")})
+	if !ok1 {
+		t.Fatal("composite value missing")
+	}
+	if want := kv.EncodeComposite([]byte("x"), []byte("y")); !bytes.Equal(v1, want) {
+		t.Errorf("composite = %x, want %x", v1, want)
+	}
+	if _, ok := indexValue(comp, map[string][]byte{"a": []byte("x")}); ok {
+		t.Error("partial composite produced a value")
+	}
+}
+
+func TestSyncFullLifecycle(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	def := e.createIndex(t, SyncFull, "title")
+
+	e.put(t, "item001", "title", "matrix")
+	e.put(t, "item002", "title", "matrix")
+	e.put(t, "item003", "title", "inception")
+
+	if rows := e.lookupRows(t, []string{"title"}, "matrix"); len(rows) != 2 {
+		t.Fatalf("matrix rows = %v", rows)
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "inception"); len(rows) != 1 || rows[0] != "item003" {
+		t.Fatalf("inception rows = %v", rows)
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "absent"); len(rows) != 0 {
+		t.Fatalf("absent rows = %v", rows)
+	}
+
+	// Update: old entry must be gone immediately (causal consistency).
+	e.put(t, "item001", "title", "avatar")
+	if rows := e.lookupRows(t, []string{"title"}, "matrix"); len(rows) != 1 || rows[0] != "item002" {
+		t.Fatalf("matrix rows after update = %v", rows)
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "avatar"); len(rows) != 1 || rows[0] != "item001" {
+		t.Fatalf("avatar rows = %v", rows)
+	}
+	// Physically, the stale entry is tombstoned, not merely filtered.
+	entries := e.rawIndexEntries(t, def)
+	for _, en := range entries {
+		if en == "matrix→item001" {
+			t.Error("stale index entry physically present after sync-full update")
+		}
+	}
+
+	// Delete: entry goes away synchronously.
+	if _, err := e.cl.Delete(e.tbl, []byte("item002"), []string{"title"}); err != nil {
+		t.Fatal(err)
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "matrix"); len(rows) != 0 {
+		t.Fatalf("matrix rows after delete = %v", rows)
+	}
+
+	// Idempotent same-value overwrite keeps exactly one live entry.
+	e.put(t, "item003", "title", "inception")
+	if rows := e.lookupRows(t, []string{"title"}, "inception"); len(rows) != 1 {
+		t.Fatalf("inception rows after same-value put = %v", rows)
+	}
+}
+
+func TestSyncInsertStaleEntriesAndReadRepair(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	def := e.createIndex(t, SyncInsert, "title")
+
+	e.put(t, "item001", "title", "matrix")
+	e.put(t, "item001", "title", "avatar") // leaves stale matrix→item001
+
+	// The stale entry is physically present (sync-insert never deletes).
+	entries := e.rawIndexEntries(t, def)
+	if len(entries) != 2 {
+		t.Fatalf("raw entries = %v, want stale + fresh", entries)
+	}
+
+	// A read for the stale value returns nothing — and repairs the index.
+	if rows := e.lookupRows(t, []string{"title"}, "matrix"); len(rows) != 0 {
+		t.Fatalf("stale read returned %v", rows)
+	}
+	entries = e.rawIndexEntries(t, def)
+	if len(entries) != 1 || entries[0] != "avatar→item001" {
+		t.Fatalf("raw entries after repair = %v", entries)
+	}
+
+	// The fresh value reads correctly.
+	if rows := e.lookupRows(t, []string{"title"}, "avatar"); len(rows) != 1 {
+		t.Fatalf("avatar rows = %v", rows)
+	}
+
+	// Deletes leave stale entries that reads repair too.
+	if _, err := e.cl.Delete(e.tbl, []byte("item001"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "avatar"); len(rows) != 0 {
+		t.Fatalf("avatar rows after row delete = %v", rows)
+	}
+	if entries := e.rawIndexEntries(t, def); len(entries) != 0 {
+		t.Fatalf("entries after delete + repair = %v", entries)
+	}
+}
+
+func TestAsyncSimpleEventualConsistency(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, AsyncSimple, "title")
+
+	for i := 0; i < 20; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", fmt.Sprintf("t%d", i%4))
+	}
+	if !e.m.WaitForConvergence(5 * time.Second) {
+		t.Fatal("AUQ did not drain")
+	}
+	for v := 0; v < 4; v++ {
+		if rows := e.lookupRows(t, []string{"title"}, fmt.Sprintf("t%d", v)); len(rows) != 5 {
+			t.Fatalf("t%d rows = %v", v, rows)
+		}
+	}
+
+	// Updates eventually remove old entries (APS deletes at t−δ).
+	e.put(t, "item000", "title", "newval")
+	if !e.m.WaitForConvergence(5 * time.Second) {
+		t.Fatal("AUQ did not drain after update")
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "t0"); len(rows) != 4 {
+		t.Fatalf("t0 rows after update = %v", rows)
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "newval"); len(rows) != 1 {
+		t.Fatalf("newval rows = %v", rows)
+	}
+	if e.m.Staleness().Count() == 0 {
+		t.Error("staleness histogram empty after async completions")
+	}
+}
+
+// TestAsyncRetriesThroughPartition verifies guaranteed eventual execution:
+// with the server→server paths cut, async index updates stall but are
+// retried until the partition heals.
+func TestAsyncRetriesThroughPartition(t *testing.T) {
+	e := newEnv(t, 2, ManagerOptions{})
+	e.createIndex(t, AsyncSimple, "title")
+
+	// Cut server↔server connectivity (client↔server stays up).
+	e.c.Net.Partition("rs1", "rs2")
+
+	e.put(t, "item001", "title", "stuck")
+	e.put(t, "item900", "title", "stuck") // second region, other server
+
+	// At least one of the two index updates must cross servers; it cannot
+	// complete while partitioned.
+	if e.m.WaitForConvergence(50 * time.Millisecond) {
+		// Both index entries happened to be server-local; force a remote
+		// one by checking visibility instead.
+		t.Log("converged while partitioned (all updates were server-local)")
+	}
+	e.c.Net.HealAll()
+	if !e.m.WaitForConvergence(5 * time.Second) {
+		t.Fatal("AUQ did not drain after heal")
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "stuck"); len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSyncFullDegradesToAUQOnPartition(t *testing.T) {
+	e := newEnv(t, 2, ManagerOptions{})
+	e.createIndex(t, SyncFull, "title")
+	e.c.Net.Partition("rs1", "rs2")
+
+	// Puts succeed even when the synchronous index op cannot reach the
+	// index region (§6.2: no all-or-nothing semantics; failed ops enter
+	// the AUQ).
+	for i := 0; i < 10; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", "v")
+		e.put(t, fmt.Sprintf("item%03d", 900+i), "title", "v")
+	}
+	e.c.Net.HealAll()
+	if !e.m.WaitForConvergence(5 * time.Second) {
+		t.Fatal("degraded sync-full work never completed")
+	}
+	if rows := e.lookupRows(t, []string{"title"}, "v"); len(rows) != 20 {
+		t.Fatalf("rows after heal = %d, want 20", len(rows))
+	}
+}
+
+func TestDrainBeforeFlush(t *testing.T) {
+	// After a region flush returns, its AUQ must be empty (PR(Flushed)=∅):
+	// crash the server right after the flush — recovery replays nothing
+	// (WAL rolled forward), so only the drain guarantees index completeness.
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, AsyncSimple, "title")
+
+	for i := 0; i < 50; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", fmt.Sprintf("val%d", i))
+	}
+	// Flush every region of the base table (drains each AUQ first).
+	regions, err := e.c.Master.RegionsOf(e.tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ri := range regions {
+		if err := e.c.Server(ri.Server).Flush(ri.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if depth := e.m.QueueDepth(); depth != 0 {
+		t.Fatalf("AUQ depth %d after flush, want 0", depth)
+	}
+	// Crash every server that hosted base regions; index entries must
+	// already be durable/complete despite empty WALs.
+	crashed := map[string]bool{}
+	for _, ri := range regions {
+		if !crashed[ri.Server] {
+			crashed[ri.Server] = true
+			if err := e.c.Master.CrashServer(ri.Server); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !e.m.WaitForConvergence(5 * time.Second) {
+		t.Fatal("AUQ did not drain after recovery")
+	}
+	for i := 0; i < 50; i++ {
+		rows := e.lookupRows(t, []string{"title"}, fmt.Sprintf("val%d", i))
+		if len(rows) != 1 {
+			t.Fatalf("val%d rows = %v", i, rows)
+		}
+	}
+}
+
+func TestCrashRecoveryReplaysAUQ(t *testing.T) {
+	// Partition the index path so AUQ work backs up, crash the base
+	// server (losing the queue), heal, and verify WAL replay re-enqueues
+	// everything on the recovery server.
+	e := newEnv(t, 2, ManagerOptions{})
+	e.createIndex(t, AsyncSimple, "title")
+
+	e.c.Net.Partition("rs1", "rs2")
+	for i := 0; i < 20; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", "crashval")
+		e.put(t, fmt.Sprintf("item%03d", 900+i), "title", "crashval")
+	}
+	// Crash one base-hosting server while its AUQ is blocked.
+	ri, _ := e.c.Master.Locate(e.tbl, []byte("item000"))
+	if err := e.c.Master.CrashServer(ri.Server); err != nil {
+		t.Fatal(err)
+	}
+	e.c.Net.HealAll()
+	if !e.m.WaitForConvergence(10 * time.Second) {
+		t.Fatalf("AUQ did not converge after crash recovery (depth %d)", e.m.QueueDepth())
+	}
+	rows := e.lookupRows(t, []string{"title"}, "crashval")
+	if len(rows) != 40 {
+		t.Fatalf("rows after crash recovery = %d, want 40", len(rows))
+	}
+}
+
+func TestBackfillIndexesExistingData(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	for i := 0; i < 30; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", fmt.Sprintf("bulk%d", i%3))
+	}
+	// Index created after the data exists.
+	e.createIndex(t, SyncFull, "title")
+	for v := 0; v < 3; v++ {
+		rows := e.lookupRows(t, []string{"title"}, fmt.Sprintf("bulk%d", v))
+		if len(rows) != 10 {
+			t.Fatalf("bulk%d rows = %d, want 10", v, len(rows))
+		}
+	}
+}
+
+func TestCompositeIndex(t *testing.T) {
+	e := newEnv(t, 2, ManagerOptions{})
+	def := e.createIndex(t, SyncFull, "category", "rating")
+
+	put := func(row, cat, rating string) {
+		if _, err := e.cl.Put(e.tbl, []byte(row), map[string][]byte{
+			"category": []byte(cat), "rating": []byte(rating),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("item001", "bar", "5")
+	put("item002", "bar", "3")
+	put("item003", "club", "5")
+
+	val, ok := IndexValueOf(def, map[string][]byte{"category": []byte("bar"), "rating": []byte("5")})
+	if !ok {
+		t.Fatal("IndexValueOf failed")
+	}
+	hits, err := e.m.GetByIndex(e.cl, e.tbl, []string{"category", "rating"}, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || string(hits[0].Row) != "item001" {
+		t.Fatalf("composite hits = %+v", hits)
+	}
+
+	// Partial update of one composite column must move the entry.
+	if _, err := e.cl.Put(e.tbl, []byte("item001"), map[string][]byte{"rating": []byte("4")}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = e.m.GetByIndex(e.cl, e.tbl, []string{"category", "rating"}, val)
+	if len(hits) != 0 {
+		t.Fatalf("old composite value still indexed: %+v", hits)
+	}
+	val4, _ := IndexValueOf(def, map[string][]byte{"category": []byte("bar"), "rating": []byte("4")})
+	hits, _ = e.m.GetByIndex(e.cl, e.tbl, []string{"category", "rating"}, val4)
+	if len(hits) != 1 {
+		t.Fatalf("new composite value not indexed: %+v", hits)
+	}
+}
+
+func TestRangeByIndex(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, SyncFull, "price")
+	for i := 0; i < 50; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "price", fmt.Sprintf("%05d", i*10))
+	}
+	hits, err := e.m.RangeByIndex(e.cl, e.tbl, []string{"price"}, []byte("00100"), []byte("00200"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 11 { // prices 100,110,...,200 inclusive
+		t.Fatalf("range hits = %d, want 11", len(hits))
+	}
+	// Limit.
+	hits, _ = e.m.RangeByIndex(e.cl, e.tbl, []string{"price"}, []byte("00000"), nil, 7)
+	if len(hits) != 7 {
+		t.Fatalf("limited range hits = %d", len(hits))
+	}
+	// Missing index.
+	if _, err := e.m.RangeByIndex(e.cl, e.tbl, []string{"nope"}, nil, nil, 0); err == nil {
+		t.Error("range on missing index succeeded")
+	}
+}
+
+func TestFetchRows(t *testing.T) {
+	e := newEnv(t, 2, ManagerOptions{})
+	e.createIndex(t, SyncFull, "title")
+	e.put(t, "item001", "title", "x")
+	e.put(t, "item002", "title", "x")
+	hits, _ := e.m.GetByIndex(e.cl, e.tbl, []string{"title"}, []byte("x"))
+	rows, err := e.m.FetchRows(e.cl, e.tbl, hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || string(rows[0].Cols["title"]) != "x" {
+		t.Fatalf("FetchRows = %+v", rows)
+	}
+}
+
+func TestTable2IOCosts(t *testing.T) {
+	// Verify the measured per-operation I/O against Table 2.
+	cases := []struct {
+		scheme Scheme
+		// expected counts for ONE update (a put changing the indexed value
+		// of an existing row):
+		upBasePut, upBaseRead, upIdxPut, upIdxDel     int64
+		upAsyncBaseRead, upAsyncIdxPut, upAsyncIdxDel int64
+		// expected counts for ONE exact-match read returning 1 row:
+		rdBaseRead, rdIdxRead int64
+	}{
+		{SyncFull, 1, 1, 1, 1, 0, 0, 0, 0, 1},
+		{SyncInsert, 1, 0, 1, 0, 0, 0, 0, 1, 1}, // read: K=1 base read
+		{AsyncSimple, 1, 0, 0, 0, 1, 1, 1, 0, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.scheme.String(), func(t *testing.T) {
+			e := newEnv(t, 3, ManagerOptions{})
+			e.createIndex(t, c.scheme, "title")
+			e.put(t, "item100", "title", "before")
+			if !e.m.WaitForConvergence(5 * time.Second) {
+				t.Fatal("setup did not converge")
+			}
+
+			before := e.m.Counters.Snapshot()
+			e.put(t, "item100", "title", "after") // the measured update
+			if !e.m.WaitForConvergence(5 * time.Second) {
+				t.Fatal("update did not converge")
+			}
+			d := e.m.Counters.Snapshot().Sub(before)
+			if d.BasePut != c.upBasePut || d.BaseRead != c.upBaseRead ||
+				d.IndexPut != c.upIdxPut || d.IndexDel != c.upIdxDel ||
+				d.AsyncBaseRead != c.upAsyncBaseRead || d.AsyncIndexPut != c.upAsyncIdxPut ||
+				d.AsyncIndexDel != c.upAsyncIdxDel {
+				t.Errorf("update costs = %+v", d)
+			}
+
+			before = e.m.Counters.Snapshot()
+			if rows := e.lookupRows(t, []string{"title"}, "after"); len(rows) != 1 {
+				t.Fatalf("read returned %v", rows)
+			}
+			d = e.m.Counters.Snapshot().Sub(before)
+			if d.IndexRead != c.rdIdxRead || d.BaseRead != c.rdBaseRead {
+				t.Errorf("read costs = %+v", d)
+			}
+			if d.BasePut != 0 || d.IndexPut != 0 {
+				t.Errorf("read performed writes: %+v", d)
+			}
+		})
+	}
+}
+
+func TestMixedSchemesPerIndex(t *testing.T) {
+	// §3.4: schemes are chosen per index. One table carries a sync-full
+	// title index and an async price index simultaneously.
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, SyncFull, "title")
+	e.createIndex(t, AsyncSimple, "price")
+
+	if _, err := e.cl.Put(e.tbl, []byte("item001"), map[string][]byte{
+		"title": []byte("t"), "price": []byte("9"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The sync index is immediately consistent.
+	if rows := e.lookupRows(t, []string{"title"}, "t"); len(rows) != 1 {
+		t.Fatalf("title rows = %v", rows)
+	}
+	if !e.m.WaitForConvergence(5 * time.Second) {
+		t.Fatal("async index did not converge")
+	}
+	if rows := e.lookupRows(t, []string{"price"}, "9"); len(rows) != 1 {
+		t.Fatalf("price rows = %v", rows)
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	e := newEnv(t, 2, ManagerOptions{})
+	if err := e.m.CreateIndex(IndexDef{Table: "missing", Columns: []string{"a"}, Scheme: SyncFull}, nil); err == nil {
+		t.Error("index on missing table created")
+	}
+	def := IndexDef{Table: e.tbl, Columns: []string{"title"}, Scheme: SyncFull}
+	if err := e.m.CreateIndex(def, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.m.CreateIndex(def, nil); err == nil {
+		t.Error("duplicate index created")
+	}
+	if _, err := e.m.GetByIndex(e.cl, e.tbl, []string{"unknown"}, []byte("v")); err == nil {
+		t.Error("GetByIndex on missing index succeeded")
+	}
+	if !e.m.DropIndex(e.tbl, def.Name()) {
+		t.Error("DropIndex failed")
+	}
+	if e.m.DropIndex(e.tbl, def.Name()) {
+		t.Error("double DropIndex succeeded")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import "diffindex/internal/metrics"
+
+// OpCounters instruments the I/O operations of Diff-Index exactly along the
+// axes of the paper's Table 2: puts and reads against the base table and
+// puts (including deletes) and reads against index tables, split into
+// synchronous operations (inside the client-visible request) and
+// asynchronous operations performed by the APS (the bracketed "[ ]" entries
+// in Table 2).
+type OpCounters struct {
+	BasePut   metrics.Counter
+	BaseRead  metrics.Counter
+	IndexPut  metrics.Counter // index inserts
+	IndexDel  metrics.Counter // index tombstones ("1+1" with IndexPut)
+	IndexRead metrics.Counter
+
+	AsyncBaseRead metrics.Counter
+	AsyncIndexPut metrics.Counter
+	AsyncIndexDel metrics.Counter
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	BasePut, BaseRead, IndexPut, IndexDel, IndexRead int64
+	AsyncBaseRead, AsyncIndexPut, AsyncIndexDel      int64
+}
+
+// Snapshot copies the current values.
+func (o *OpCounters) Snapshot() Snapshot {
+	return Snapshot{
+		BasePut:       o.BasePut.Load(),
+		BaseRead:      o.BaseRead.Load(),
+		IndexPut:      o.IndexPut.Load(),
+		IndexDel:      o.IndexDel.Load(),
+		IndexRead:     o.IndexRead.Load(),
+		AsyncBaseRead: o.AsyncBaseRead.Load(),
+		AsyncIndexPut: o.AsyncIndexPut.Load(),
+		AsyncIndexDel: o.AsyncIndexDel.Load(),
+	}
+}
+
+// Sub returns the per-axis difference s − prev, for measuring one batch of
+// operations between two snapshots.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		BasePut:       s.BasePut - prev.BasePut,
+		BaseRead:      s.BaseRead - prev.BaseRead,
+		IndexPut:      s.IndexPut - prev.IndexPut,
+		IndexDel:      s.IndexDel - prev.IndexDel,
+		IndexRead:     s.IndexRead - prev.IndexRead,
+		AsyncBaseRead: s.AsyncBaseRead - prev.AsyncBaseRead,
+		AsyncIndexPut: s.AsyncIndexPut - prev.AsyncIndexPut,
+		AsyncIndexDel: s.AsyncIndexDel - prev.AsyncIndexDel,
+	}
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
+)
+
+// ManagerOptions tunes the Diff-Index runtime.
+type ManagerOptions struct {
+	// QueueCapacity bounds each region's AUQ ("by assigning a large-size
+	// AUQ the workload surge can be largely absorbed", §8.2). Defaults to
+	// 4096.
+	QueueCapacity int
+	// Workers is the number of APS workers per region. Defaults to 2.
+	Workers int
+	// StalenessSampleEvery samples every Nth AUQ completion into the
+	// staleness histogram — the paper samples 0.1% of inserted entries
+	// (§8.2). Defaults to 1 (sample everything; experiments that need the
+	// paper's 0.1% set 1000).
+	StalenessSampleEvery int
+	// SessionTTL is the inactivity limit after which a session expires
+	// (§5.2 uses 30 minutes). Defaults to 30 minutes.
+	SessionTTL time.Duration
+	// SessionMaxBytes caps a session's private-table memory; beyond it,
+	// session consistency is automatically disabled (§5.2). Defaults to
+	// 1 MiB.
+	SessionMaxBytes int64
+	// DisableDrainOnFlush turns OFF the drain-AUQ-before-flush protocol
+	// (§5.3). Unsafe: after a flush truncates the WAL, pending AUQ entries
+	// for flushed data cannot be reconstructed by replay, so a crash loses
+	// index updates permanently. Exists only for the ablation experiment
+	// demonstrating exactly that failure.
+	DisableDrainOnFlush bool
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 4096
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.StalenessSampleEvery <= 0 {
+		o.StalenessSampleEvery = 1
+	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 30 * time.Minute
+	}
+	if o.SessionMaxBytes <= 0 {
+		o.SessionMaxBytes = 1 << 20
+	}
+	return o
+}
+
+// Manager is the Diff-Index runtime: it owns the catalog, the per-region
+// AUQs, the per-server clients used for server-side index maintenance, and
+// the operation counters. One Manager serves a whole cluster.
+type Manager struct {
+	cluster *cluster.Cluster
+	catalog *Catalog
+	opts    ManagerOptions
+
+	// Counters instruments I/O along the axes of Table 2.
+	Counters OpCounters
+
+	mu          sync.Mutex
+	auqs        map[*cluster.Region]*auq
+	serverConns map[string]*cluster.Client
+	sampleTick  int64
+	staleness   *metrics.Histogram
+	advisor     *Advisor
+}
+
+// noteIndexUpdate/noteIndexRead report per-index activity to the attached
+// advisor, if any.
+func (m *Manager) noteIndexUpdate(indexName string) {
+	m.mu.Lock()
+	a := m.advisor
+	m.mu.Unlock()
+	if a != nil {
+		a.noteUpdate(indexName)
+	}
+}
+
+func (m *Manager) noteIndexRead(indexName string) {
+	m.mu.Lock()
+	a := m.advisor
+	m.mu.Unlock()
+	if a != nil {
+		a.noteRead(indexName)
+	}
+}
+
+// NewManager creates the Diff-Index runtime for a cluster.
+func NewManager(c *cluster.Cluster, opts ManagerOptions) *Manager {
+	return &Manager{
+		cluster:     c,
+		catalog:     NewCatalog(),
+		opts:        opts.withDefaults(),
+		auqs:        make(map[*cluster.Region]*auq),
+		serverConns: make(map[string]*cluster.Client),
+		staleness:   metrics.NewHistogram(),
+	}
+}
+
+// Catalog exposes the index metadata catalog.
+func (m *Manager) Catalog() *Catalog { return m.catalog }
+
+// CreateIndex defines an index. For a global index it creates the
+// (key-only) index table, pre-split at the given index-key routing splits;
+// for a local index (def.Local) no table is created — entries live inside
+// each base region (splits are ignored). The base table must exist; rows
+// already in it are indexed by a backfill scan, so an index can be added to
+// a populated table (the paper's index-creation utility, §7).
+func (m *Manager) CreateIndex(def IndexDef, splits [][]byte) error {
+	if !m.cluster.Master.HasTable(def.Table) {
+		return fmt.Errorf("core: base table %s does not exist", def.Table)
+	}
+	if err := m.catalog.Add(def); err != nil {
+		return err
+	}
+	// One observer per base table handles every index on it.
+	m.cluster.RegisterCoprocessor(def.Table, &observer{m: m})
+	if !def.Local {
+		// Index tables are raw tables: their routing keys ARE their store
+		// keys (v ⊕ k).
+		if err := m.cluster.Master.CreateRawTable(def.Name(), splits); err != nil {
+			m.catalog.Remove(def.Table, def.Name())
+			return err
+		}
+	}
+	return m.backfill(def)
+}
+
+// backfill scans the base table and writes index entries for existing rows,
+// carrying each row's base timestamps (same-timestamp rule, §4.3).
+func (m *Manager) backfill(def IndexDef) error {
+	cl := m.clientFor("diffindex-backfill")
+	// Scan base data only: local-index entries of other indexes live below
+	// BaseDataStart in the same stores.
+	results, err := cl.RawScan(def.Table, kv.BaseDataStart, nil, kv.MaxTimestamp, 0)
+	if err != nil {
+		return err
+	}
+	var (
+		curRow []byte
+		cols   map[string][]byte
+		maxTs  kv.Timestamp
+	)
+	emit := func() error {
+		if cols == nil {
+			return nil
+		}
+		if v, ok := indexValue(def, cols); ok {
+			cell := kv.Cell{Ts: maxTs, Kind: kv.KindPut}
+			var err error
+			if def.Local {
+				// Local entries route by ROW so they land in the row's own
+				// region.
+				cell.Key = kv.LocalIndexKey(def.Name(), v, curRow)
+				err = cl.RawApply(def.Table, curRow, []kv.Cell{cell})
+			} else {
+				cell.Key = kv.IndexKey(v, curRow)
+				err = cl.RawApply(def.Name(), cell.Key, []kv.Cell{cell})
+			}
+			if err != nil {
+				return err
+			}
+			m.Counters.IndexPut.Inc()
+		}
+		cols, maxTs = nil, 0
+		return nil
+	}
+	for _, res := range results {
+		row, col, err := kv.SplitBaseKey(res.Key)
+		if err != nil {
+			return err
+		}
+		if cols == nil || !bytes.Equal(row, curRow) {
+			if err := emit(); err != nil {
+				return err
+			}
+			curRow = append([]byte(nil), row...)
+			cols = make(map[string][]byte)
+		}
+		cols[string(col)] = res.Value
+		if res.Ts > maxTs {
+			maxTs = res.Ts
+		}
+	}
+	return emit()
+}
+
+// DropIndex removes an index definition and forgets its metadata. The index
+// table's regions remain until the table is dropped (our master has no table
+// deletion, like early HBase required disable-then-drop; callers simply stop
+// routing to it).
+func (m *Manager) DropIndex(table, name string) bool {
+	return m.catalog.Remove(table, name)
+}
+
+// clientFor returns (creating if needed) the cluster client whose simnet
+// node is name — index maintenance issued on region server rs3 must pay
+// rs3→indexserver network latency, so each server gets its own client.
+func (m *Manager) clientFor(name string) *cluster.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cl, ok := m.serverConns[name]
+	if !ok {
+		cl = cluster.NewClient(m.cluster, name)
+		m.serverConns[name] = cl
+	}
+	return cl
+}
+
+// auqFor returns (creating if needed) the AUQ of a region.
+func (m *Manager) auqFor(ctx cluster.RegionCtx) *auq {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.auqs[ctx.Region]
+	if !ok {
+		q = newAUQ(m, ctx)
+		m.auqs[ctx.Region] = q
+	}
+	return q
+}
+
+func (m *Manager) dropAUQ(region *cluster.Region) *auq {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.auqs[region]
+	delete(m.auqs, region)
+	return q
+}
+
+// QueueDepth sums pending AUQ tasks across all regions — zero means every
+// asynchronous index update has been applied.
+func (m *Manager) QueueDepth() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, q := range m.auqs {
+		total += q.depth()
+	}
+	return total
+}
+
+// WaitForConvergence blocks until the AUQs are empty or the timeout
+// elapses, reporting whether convergence was reached.
+func (m *Manager) WaitForConvergence(timeout time.Duration) bool {
+	return cluster.WaitFor(timeout, func() bool { return m.QueueDepth() == 0 })
+}
+
+// observeStaleness records one AUQ completion's index-after-data time lag
+// (T2 − T1, §8.2), subject to sampling.
+func (m *Manager) observeStaleness(enqueuedAt time.Time) {
+	m.mu.Lock()
+	m.sampleTick++
+	sample := m.sampleTick%int64(m.opts.StalenessSampleEvery) == 0
+	m.mu.Unlock()
+	if sample {
+		m.staleness.RecordDuration(time.Since(enqueuedAt))
+	}
+}
+
+// Staleness exposes the index-staleness histogram (Figure 11's measurement).
+func (m *Manager) Staleness() *metrics.Histogram { return m.staleness }
+
+// ResetStaleness replaces the staleness histogram, for per-phase
+// measurements.
+func (m *Manager) ResetStaleness() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.staleness = metrics.NewHistogram()
+}
+
+// covered reports whether the mutation in t can affect the index.
+func covered(def IndexDef, t task) bool {
+	return (t.putCols != nil && def.Covers(t.putCols)) || (t.delCols != nil && def.CoversNames(t.delCols))
+}
+
+// applyIndexUpdates is the APS's work function (Algorithm 4): it applies
+// the mutation to the asynchronous indexes it covers — or to every index
+// when the task is a replay/failure redelivery (t.allIndexes).
+func (m *Manager) applyIndexUpdates(ctx cluster.RegionCtx, t task, async bool) error {
+	var relevant []IndexDef
+	for _, def := range m.catalog.IndexesOn(ctx.Region.Info.Table) {
+		if covered(def, t) && (t.allIndexes || (!def.Local && def.Scheme.Asynchronous())) {
+			relevant = append(relevant, def)
+		}
+	}
+	return m.applyIndexUpdatesFor(ctx, t, async, relevant)
+}
+
+// applyIndexUpdatesFor performs index maintenance for one base mutation
+// against the given indexes: the shared core of Algorithm 1 (sync-full,
+// async=false) and Algorithm 4 (APS, async=true). It reads the row's
+// pre-image at ts−δ once, then per index deletes the superseded entry at
+// ts−δ and inserts the new entry at ts. Index-table operations ride the
+// calling server's network identity.
+func (m *Manager) applyIndexUpdatesFor(ctx cluster.RegionCtx, t task, async bool, relevant []IndexDef) error {
+	if len(relevant) == 0 {
+		return nil
+	}
+
+	// R_B(k, t_new − δ): one local read of the row's pre-image (§4.1 SU3 /
+	// Algorithm 4 BA2). Local because the observer/APS runs on the server
+	// hosting the base region.
+	oldCols, err := ctx.Region.LocalGetRow(t.row, t.ts-kv.Delta)
+	if err != nil {
+		return err
+	}
+	if async {
+		m.Counters.AsyncBaseRead.Inc()
+	} else {
+		m.Counters.BaseRead.Inc()
+	}
+
+	// The row's post-image: pre-image overlaid with this mutation.
+	newCols := make(map[string][]byte, len(oldCols)+len(t.putCols))
+	for c, v := range oldCols {
+		newCols[c] = v
+	}
+	for c, v := range t.putCols {
+		newCols[c] = v
+	}
+	for _, c := range t.delCols {
+		delete(newCols, c)
+	}
+
+	conn := m.clientFor(ctx.Server.ID())
+	var firstErr error
+	for _, def := range relevant {
+		oldVal, hadOld := indexValue(def, oldCols)
+		newVal, hasNew := indexValue(def, newCols)
+
+		// writeCell applies one index mutation. Global entries are remote
+		// RPCs routed by the index key. Local entries live in THIS region's
+		// own store and are written gate-free via ApplyBatchLocked:
+		// acquiring the write gate here would deadlock, and ordering with
+		// flushes is already guaranteed — the synchronous path runs inside
+		// the put pipeline (gate held by the caller), and the APS path runs
+		// from this region's own AUQ, which a flush drains to completion
+		// before swapping the memtable.
+		writeCell := func(v []byte, cell kv.Cell) error {
+			if def.Local {
+				cell.Key = kv.LocalIndexKey(def.Name(), v, t.row)
+				return ctx.Region.Store().ApplyBatchLocked([]kv.Cell{cell})
+			}
+			cell.Key = kv.IndexKey(v, t.row)
+			return conn.RawApply(def.Name(), cell.Key, []kv.Cell{cell})
+		}
+
+		// D_I(v_old ⊕ k, t_new − δ): remove the superseded entry. The δ
+		// ensures we never delete the entry just inserted at t_new when
+		// v_old == v_new (§4.3) — and when values are equal we skip the
+		// delete entirely, as nothing is superseded.
+		if hadOld && (!hasNew || !bytes.Equal(oldVal, newVal)) {
+			if err := writeCell(oldVal, kv.Cell{Ts: t.ts - kv.Delta, Kind: kv.KindDelete}); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if async {
+				m.Counters.AsyncIndexDel.Inc()
+			} else {
+				m.Counters.IndexDel.Inc()
+			}
+		}
+
+		// P_I(v_new ⊕ k, t_new): insert the new key-only entry with the
+		// base entry's timestamp (§4.3's same-timestamp rule).
+		if hasNew {
+			if err := writeCell(newVal, kv.Cell{Ts: t.ts, Kind: kv.KindPut}); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if async {
+				m.Counters.AsyncIndexPut.Inc()
+			} else {
+				m.Counters.IndexPut.Inc()
+			}
+		}
+	}
+	return firstErr
+}

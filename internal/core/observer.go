@@ -1,0 +1,195 @@
+package core
+
+import (
+	"time"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+)
+
+// observer is the per-table coprocessor (§7's SyncFullObserver,
+// SyncInsertObserver and AsyncObserver folded into one dispatcher): it
+// intercepts every mutation on an indexed base table and performs the
+// maintenance required by each index's scheme.
+type observer struct {
+	m *Manager
+}
+
+var _ cluster.Coprocessor = (*observer)(nil)
+
+// PostPut implements index update on put. It runs inside the put pipeline
+// on the base region's server, after the base cells were applied (SU1/AU1
+// already happened) and before the put RPC returns.
+func (o *observer) PostPut(ctx cluster.RegionCtx, row []byte, cols map[string][]byte, ts kv.Timestamp) error {
+	o.m.Counters.BasePut.Inc()
+	t := task{row: row, ts: ts, putCols: cols, enqueuedAt: time.Now()}
+	o.dispatch(ctx, t)
+	return nil
+}
+
+// PostDelete implements index update on delete: in LSM a delete is a put of
+// a tombstone, and the index maintenance is the same pipeline with no new
+// entry (§4.3).
+func (o *observer) PostDelete(ctx cluster.RegionCtx, row []byte, cols []string, ts kv.Timestamp) error {
+	o.m.Counters.BasePut.Inc()
+	t := task{row: row, ts: ts, delCols: cols, enqueuedAt: time.Now()}
+	o.dispatch(ctx, t)
+	return nil
+}
+
+// dispatch routes one mutation to each index according to its scheme. The
+// schemes partition per index, so a table can simultaneously carry e.g. a
+// sync-insert index on title and an async index on price (§3.4).
+func (o *observer) dispatch(ctx cluster.RegionCtx, t task) {
+	defs := o.m.catalog.IndexesOn(ctx.Region.Info.Table)
+
+	var needsSyncFull, needsAsync bool
+	var localDefs []IndexDef
+	for _, def := range defs {
+		covered := (t.putCols != nil && def.Covers(t.putCols)) || (t.delCols != nil && def.CoversNames(t.delCols))
+		if !covered {
+			continue
+		}
+		o.m.noteIndexUpdate(def.Name())
+		if def.Local {
+			// Local index maintenance is synchronous and region-local
+			// (§3.1): same server, so the writes below cost no network hop.
+			localDefs = append(localDefs, def)
+			continue
+		}
+		switch def.Scheme {
+		case SyncFull:
+			needsSyncFull = true
+		case SyncInsert:
+			// Scheme sync-insert: run SU1 and SU2 only (§4.2) — insert the
+			// new entry, leave stale entries for read repair. Deletes have
+			// no new entry, so sync-insert does nothing for them until a
+			// read repairs the stale entry.
+			o.syncInsert(ctx, def, t)
+		case AsyncSimple, AsyncSession:
+			needsAsync = true
+		}
+	}
+	if len(localDefs) > 0 {
+		if err := o.m.applyIndexUpdatesFor(ctx, t, false, localDefs); err != nil {
+			retry := t
+			retry.allIndexes = true
+			o.m.auqFor(ctx).enqueue(retry)
+		}
+	}
+	// Sync-full indexes share one pre-image read (Algorithm 1).
+	if needsSyncFull {
+		if err := o.syncFull(ctx, t); err != nil {
+			// A failed synchronous operation degrades to eventual
+			// consistency: the task enters the AUQ and is retried until it
+			// succeeds (§6.2 Atomicity/Durability). allIndexes makes the
+			// redelivery cover the sync indexes whose work failed.
+			retry := t
+			retry.allIndexes = true
+			o.m.auqFor(ctx).enqueue(retry)
+			return
+		}
+	}
+	// Async indexes enqueue the mutation once; the APS applies it to every
+	// asynchronous index (Algorithm 3, AU1-AU2).
+	if needsAsync {
+		o.m.auqFor(ctx).enqueue(t)
+	}
+}
+
+// syncFull runs the synchronous part of Algorithm 1 (SU2-SU4) for every
+// sync-full index on the table.
+func (o *observer) syncFull(ctx cluster.RegionCtx, t task) error {
+	var defs []IndexDef
+	for _, def := range o.m.catalog.IndexesOn(ctx.Region.Info.Table) {
+		if !def.Local && def.Scheme == SyncFull && covered(def, t) {
+			defs = append(defs, def)
+		}
+	}
+	return o.m.applyIndexUpdatesFor(ctx, t, false, defs)
+}
+
+// syncInsert performs P_I(v_new ⊕ k, t_new) only — no base read, no delete
+// (Equation 2: L(sync-insert) = L(P_I)).
+func (o *observer) syncInsert(ctx cluster.RegionCtx, def IndexDef, t task) {
+	if t.putCols == nil {
+		return // deletes insert nothing; read repair cleans the stale entry
+	}
+	newVal, ok := indexValue(def, t.putCols)
+	if !ok {
+		// A partial put that does not cover the whole composite index:
+		// complete the post-image from the pre-image. (Single-column
+		// indexes — the paper's setting — never take this branch, keeping
+		// sync-insert's update path free of base reads.)
+		oldCols, err := ctx.Region.LocalGetRow(t.row, t.ts-kv.Delta)
+		if err != nil {
+			o.m.auqFor(ctx).enqueue(t)
+			return
+		}
+		o.m.Counters.BaseRead.Inc()
+		merged := make(map[string][]byte, len(oldCols)+len(t.putCols))
+		for c, v := range oldCols {
+			merged[c] = v
+		}
+		for c, v := range t.putCols {
+			merged[c] = v
+		}
+		if newVal, ok = indexValue(def, merged); !ok {
+			return // row lacks indexed columns: no entry
+		}
+	}
+	newKey := kv.IndexKey(newVal, t.row)
+	cell := kv.Cell{Key: newKey, Ts: t.ts, Kind: kv.KindPut}
+	conn := o.m.clientFor(ctx.Server.ID())
+	if err := conn.RawApply(def.Name(), newKey, []kv.Cell{cell}); err != nil {
+		// Degrade to eventual consistency through the AUQ (§6.2). The AUQ
+		// path also deletes the superseded entry, which is strictly more
+		// repair than sync-insert promises — harmless.
+		retry := t
+		retry.allIndexes = true
+		o.m.auqFor(ctx).enqueue(retry)
+		return
+	}
+	o.m.Counters.IndexPut.Inc()
+}
+
+// PreFlush implements the drain-before-flush protocol (§5.3, Figure 5): it
+// runs while the region's write gate is held exclusively (intake paused)
+// and waits until the region's AUQ is empty, so no pending request refers
+// to data about to be flushed (PR(Flushed) = ∅).
+func (o *observer) PreFlush(ctx cluster.RegionCtx) {
+	if o.m.opts.DisableDrainOnFlush {
+		return // ablation mode:§5.3's PR(Flushed) = ∅ invariant is broken
+	}
+	o.m.mu.Lock()
+	q, ok := o.m.auqs[ctx.Region]
+	o.m.mu.Unlock()
+	if ok {
+		q.drain()
+	}
+}
+
+// OnReplay re-enqueues every replayed base cell into the AUQ (§5.3): some
+// may already have been delivered before the failure, but redelivery is
+// idempotent because index entries carry the base entry's timestamp.
+func (o *observer) OnReplay(ctx cluster.RegionCtx, c kv.Cell) {
+	row, col, err := kv.SplitBaseKey(c.Key)
+	if err != nil {
+		return
+	}
+	t := task{row: append([]byte(nil), row...), ts: c.Ts, enqueuedAt: time.Now(), allIndexes: true}
+	if c.Kind == kv.KindDelete {
+		t.delCols = []string{string(col)}
+	} else {
+		t.putCols = map[string][]byte{string(col): append([]byte(nil), c.Value...)}
+	}
+	o.m.auqFor(ctx).enqueue(t)
+}
+
+// OnRegionClose tears down the region's AUQ; pending entries are dropped
+// and will be reconstructed by WAL replay wherever the region reopens.
+func (o *observer) OnRegionClose(ctx cluster.RegionCtx) {
+	if q := o.m.dropAUQ(ctx.Region); q != nil {
+		q.kill()
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+)
+
+// IndexHit is one index lookup result: a base-table row key and the
+// timestamp of the index entry that produced it.
+type IndexHit struct {
+	Row []byte
+	Ts  kv.Timestamp
+}
+
+// GetByIndex looks up the base-table row keys whose indexed column(s) equal
+// value — the client-side getByIndex API (§7). For a composite index, value
+// must be the composite encoding of all column values (see IndexValueOf).
+//
+// Consistency depends on the index's scheme: sync-full results are causal
+// consistent; sync-insert results are made consistent by the double-check-
+// and-clean of Algorithm 2 (stale entries are deleted as they are found);
+// async results are eventually consistent and may be stale (§5.1) — session
+// consistency is layered on top by Session.GetByIndex.
+func (m *Manager) GetByIndex(cl *cluster.Client, table string, columns []string, value []byte) ([]IndexHit, error) {
+	def, ok := m.catalog.Find(table, columns...)
+	if !ok {
+		return nil, fmt.Errorf("core: no index on %s(%v)", table, columns)
+	}
+	if def.Local {
+		lo, hi := kv.LocalIndexValueRange(def.Name(), value, value)
+		return m.readLocalIndex(cl, def, lo, hi, 0)
+	}
+	prefix := kv.IndexValuePrefix(value)
+	return m.readIndex(cl, def, prefix, kv.PrefixSuccessor(prefix), 0)
+}
+
+// RangeByIndex returns rows whose indexed value v satisfies low ≤ v ≤ high
+// (inclusive; nil high = unbounded), up to limit hits — the range-query path
+// of §8.2 ("Range query with index"). Results arrive in index-value order.
+func (m *Manager) RangeByIndex(cl *cluster.Client, table string, columns []string, low, high []byte, limit int) ([]IndexHit, error) {
+	def, ok := m.catalog.Find(table, columns...)
+	if !ok {
+		return nil, fmt.Errorf("core: no index on %s(%v)", table, columns)
+	}
+	if def.Local {
+		lo, hi := kv.LocalIndexValueRange(def.Name(), low, high)
+		return m.readLocalIndex(cl, def, lo, hi, limit)
+	}
+	lo, hi := kv.IndexValueRange(low, high)
+	return m.readIndex(cl, def, lo, hi, limit)
+}
+
+// readIndex scans the index table and, for sync-insert, runs Algorithm 2:
+// every hit is double-checked against the base table and stale entries are
+// deleted from the index.
+func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int) ([]IndexHit, error) {
+	// SR1: read the index table.
+	entries, err := cl.RawScan(def.Name(), lo, hi, kv.MaxTimestamp, limit)
+	if err != nil {
+		return nil, err
+	}
+	m.Counters.IndexRead.Inc()
+	m.noteIndexRead(def.Name())
+
+	hits := make([]IndexHit, 0, len(entries))
+	for _, e := range entries {
+		val, row, err := kv.SplitIndexKey(e.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt index key in %s: %w", def.Name(), err)
+		}
+		if def.Scheme == SyncInsert {
+			// SR2: double check. Read the base row's current indexed
+			// value; a mismatch means this entry is stale — delete it.
+			keep, err := m.doubleCheck(cl, def, val, row, e.Ts)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		hits = append(hits, IndexHit{Row: append([]byte(nil), row...), Ts: e.Ts})
+	}
+	return hits, nil
+}
+
+// readLocalIndex serves a lookup against a LOCAL index: the same store-key
+// scan broadcast to every region of the base table (§3.1's local-index
+// query pattern). Local entries are maintained synchronously inside the
+// row's region, so no double check is needed. Results are merged into
+// index-value order.
+func (m *Manager) readLocalIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int) ([]IndexHit, error) {
+	entries, err := cl.BroadcastScan(def.Table, lo, hi, kv.MaxTimestamp, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.Counters.IndexRead.Inc()
+	m.noteIndexRead(def.Name())
+
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+	hits := make([]IndexHit, 0, len(entries))
+	for _, e := range entries {
+		_, row, err := kv.SplitLocalIndexKey(def.Name(), e.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt local index key: %w", err)
+		}
+		hits = append(hits, IndexHit{Row: append([]byte(nil), row...), Ts: e.Ts})
+		if limit > 0 && len(hits) >= limit {
+			break
+		}
+	}
+	return hits, nil
+}
+
+// doubleCheck implements the body of Algorithm 2's loop: compare the index
+// entry's value with the base table's current value for the row; delete the
+// entry at its own timestamp when stale.
+func (m *Manager) doubleCheck(cl *cluster.Client, def IndexDef, indexVal, row []byte, entryTs kv.Timestamp) (bool, error) {
+	cols := make(map[string][]byte, len(def.Columns))
+	for _, c := range def.Columns {
+		v, _, ok, err := cl.Get(def.Table, row, c)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			cols[c] = v
+		}
+	}
+	m.Counters.BaseRead.Inc()
+	baseVal, ok := indexValue(def, cols)
+	if ok && bytes.Equal(baseVal, indexVal) {
+		return true, nil // up-to-date entry
+	}
+	// Stale: delete ⟨v_index ⊕ k, ts⟩ from the index table.
+	key := kv.IndexKey(indexVal, row)
+	cell := kv.Cell{Key: key, Ts: entryTs, Kind: kv.KindDelete}
+	if err := cl.RawApply(def.Name(), key, []kv.Cell{cell}); err != nil {
+		return false, err
+	}
+	m.Counters.IndexDel.Inc()
+	return false, nil
+}
+
+// FetchRows resolves index hits to full base rows, preserving hit order.
+// Rows deleted between the index read and the fetch are skipped.
+func (m *Manager) FetchRows(cl *cluster.Client, table string, hits []IndexHit) ([]cluster.Row, error) {
+	rows := make([]cluster.Row, 0, len(hits))
+	for _, h := range hits {
+		cols, err := cl.GetRow(table, h.Row)
+		if err != nil {
+			return nil, err
+		}
+		m.Counters.BaseRead.Inc()
+		if cols != nil {
+			rows = append(rows, cluster.Row{Key: append([]byte(nil), h.Row...), Cols: cols})
+		}
+	}
+	return rows, nil
+}
+
+// IndexValueOf computes the index-value bytes for the given column values
+// of an index — what GetByIndex expects for composite indexes.
+func IndexValueOf(def IndexDef, cols map[string][]byte) ([]byte, bool) {
+	return indexValue(def, cols)
+}

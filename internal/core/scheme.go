@@ -1,0 +1,140 @@
+// Package core implements Diff-Index itself: global secondary indexes on the
+// distributed LSM store with a spectrum of maintenance schemes (§3.4):
+//
+//	sync-full    — causal consistent: P_I, R_B, D_I complete before the put
+//	               returns (Algorithm 1).
+//	sync-insert  — causal consistent with read-repair: only P_I is done
+//	               synchronously; stale entries are detected and deleted at
+//	               read time (Algorithm 2).
+//	async-simple — eventually consistent: index work is queued on the AUQ
+//	               and applied by the background APS (Algorithms 3, 4).
+//	async-session— session consistent: async-simple plus a client-side
+//	               session cache providing read-your-writes (§5.2).
+//
+// The package registers one coprocessor per indexed base table (§7), owns
+// the per-region asynchronous update queues with their drain-before-flush
+// recovery protocol (§5.3), and provides the index read paths GetByIndex
+// and RangeByIndex including sync-insert's double-check-and-clean.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scheme selects the index maintenance scheme for one index. Schemes are
+// chosen per index (§3.4: "schemes can be chosen in a per index manner").
+type Scheme int
+
+const (
+	// SyncFull completes all index update tasks synchronously (§4.1).
+	SyncFull Scheme = iota
+	// SyncInsert inserts new index entries synchronously but lazily repairs
+	// old entries at read time (§4.2).
+	SyncInsert
+	// AsyncSimple executes index updates asynchronously with guaranteed
+	// eventual execution (§5.1).
+	AsyncSimple
+	// AsyncSession adds read-your-writes on top of AsyncSimple via a
+	// client-side session cache (§5.2).
+	AsyncSession
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SyncFull:
+		return "sync-full"
+	case SyncInsert:
+		return "sync-insert"
+	case AsyncSimple:
+		return "async-simple"
+	case AsyncSession:
+		return "async-session"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Asynchronous reports whether index updates are applied by the APS rather
+// than inside the put RPC.
+func (s Scheme) Asynchronous() bool { return s == AsyncSimple || s == AsyncSession }
+
+// IndexDef defines one global secondary index.
+type IndexDef struct {
+	// Table is the indexed base table.
+	Table string
+	// Columns are the indexed columns. With more than one column this is a
+	// composite index (§7 lists composite indexes among Diff-Index
+	// features); the index value is the order-preserving composite encoding
+	// of the column values in order.
+	Columns []string
+	// Scheme is the maintenance scheme for this index. Ignored when Local
+	// is set: local index maintenance is always synchronous, because it is
+	// a write into the same region (same server, same WAL) as the base
+	// mutation — the cheap-update/expensive-query end of the §3.1
+	// trade-off.
+	Scheme Scheme
+	// Local makes this a local (per-region, co-located) index instead of a
+	// global one (§3.1). Local entries live inside each base region's own
+	// store under a reserved key space; queries broadcast to every region.
+	Local bool
+}
+
+// Name returns the index's name: the index table's name for a global index
+// ("idx_item_title"), or the in-region key-space label for a local one
+// ("lidx_item_title").
+func (d IndexDef) Name() string {
+	prefix := "idx_"
+	if d.Local {
+		prefix = "lidx_"
+	}
+	return prefix + d.Table + "_" + strings.Join(d.Columns, "_")
+}
+
+// Covers reports whether the put of the given columns can change this
+// index's value (i.e. whether any indexed column is touched).
+func (d IndexDef) Covers(cols map[string][]byte) bool {
+	for _, c := range d.Columns {
+		if _, ok := cols[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversNames is Covers for a column-name list (the delete path).
+func (d IndexDef) CoversNames(cols []string) bool {
+	for _, c := range d.Columns {
+		for _, name := range cols {
+			if c == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks structural well-formedness.
+func (d IndexDef) Validate() error {
+	if d.Table == "" {
+		return fmt.Errorf("core: index definition needs a table")
+	}
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("core: index definition needs at least one column")
+	}
+	seen := map[string]bool{}
+	for _, c := range d.Columns {
+		if c == "" {
+			return fmt.Errorf("core: empty column name in index on %s", d.Table)
+		}
+		if seen[c] {
+			return fmt.Errorf("core: duplicate column %q in index on %s", c, d.Table)
+		}
+		seen[c] = true
+	}
+	if d.Scheme < SyncFull || d.Scheme > AsyncSession {
+		return fmt.Errorf("core: unknown scheme %d", d.Scheme)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockStrictlyIncreasing(t *testing.T) {
+	c := NewClock(100)
+	prev := Timestamp(0)
+	for i := 0; i < 1000; i++ {
+		ts := c.Next()
+		if ts <= prev {
+			t.Fatalf("timestamp went backwards: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+	if first := NewClock(100).Next(); first != 100 {
+		t.Errorf("first timestamp = %d, want 100", first)
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	c := NewClock(1)
+	c.Observe(500)
+	if ts := c.Next(); ts <= 500 {
+		t.Errorf("Next() after Observe(500) = %d, want > 500", ts)
+	}
+	c.Observe(10) // observing the past must not move the clock back
+	if ts := c.Next(); ts <= 500 {
+		t.Errorf("Next() after Observe(10) = %d, want > 500", ts)
+	}
+}
+
+func TestClockConcurrentUnique(t *testing.T) {
+	c := NewClock(1)
+	const workers, perWorker = 8, 2000
+	results := make([][]Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]Timestamp, perWorker)
+			for i := range out {
+				out[i] = c.Next()
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, workers*perWorker)
+	for _, out := range results {
+		for _, ts := range out {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+func TestCellCloneIndependent(t *testing.T) {
+	orig := Cell{Key: []byte("k"), Value: []byte("v"), Ts: 9, Kind: KindPut}
+	cp := orig.Clone()
+	cp.Key[0] = 'x'
+	cp.Value[0] = 'y'
+	if orig.Key[0] != 'k' || orig.Value[0] != 'v' {
+		t.Error("Clone shares storage with original")
+	}
+	nilCell := Cell{Ts: 1, Kind: KindDelete}
+	cp2 := nilCell.Clone()
+	if cp2.Key != nil || cp2.Value != nil || !cp2.Tombstone() {
+		t.Error("Clone of nil-slice cell must preserve nils and kind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPut.String() != "put" || KindDelete.String() != "delete" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}

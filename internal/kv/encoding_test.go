@@ -1,0 +1,227 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendPartRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("hello"),
+		{0x00},
+		{0x00, 0x00, 0x00},
+		{0x00, 0x01},
+		{0x00, 0xFF},
+		{0xFF, 0xFF},
+		[]byte("user\x00123"),
+	}
+	for _, in := range cases {
+		enc := AppendPart(nil, in)
+		got, rest, err := DecodePart(enc)
+		if err != nil {
+			t.Fatalf("DecodePart(%x): %v", enc, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("DecodePart(%x) left %d trailing bytes", enc, len(rest))
+		}
+		if !bytes.Equal(got, in) {
+			t.Errorf("round trip %x: got %x", in, got)
+		}
+	}
+}
+
+func TestEncodeCompositeRoundTrip(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		enc := EncodeComposite(a, b, c)
+		parts, err := DecodeComposite(enc)
+		if err != nil || len(parts) != 3 {
+			return false
+		}
+		return bytes.Equal(parts[0], a) && bytes.Equal(parts[1], b) && bytes.Equal(parts[2], c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodingOrderPreserving is the key invariant: comparing encodings
+// byte-wise must agree with comparing the part tuples lexicographically.
+func TestEncodingOrderPreserving(t *testing.T) {
+	f := func(a1, a2, b1, b2 []byte) bool {
+		ea := EncodeComposite(a1, a2)
+		eb := EncodeComposite(b1, b2)
+		want := CompareParts([][]byte{a1, a2}, [][]byte{b1, b2})
+		return sign(bytes.Compare(ea, eb)) == sign(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodingNoPrefixAmbiguity: the encoding of one part is never a strict
+// prefix of a different part's encoding.
+func TestEncodingNoPrefixAmbiguity(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		ea := AppendPart(nil, a)
+		eb := AppendPart(nil, b)
+		return !bytes.HasPrefix(ea, eb) && !bytes.HasPrefix(eb, ea)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePartErrors(t *testing.T) {
+	bad := [][]byte{
+		{},                       // empty: no terminator
+		{'a', 'b'},               // no terminator
+		{0x00},                   // dangling escape
+		{0x00, 0x02},             // invalid escape code
+		{'a', 0x00},              // dangling escape after data
+		AppendPart(nil, nil)[:1], // truncated terminator
+	}
+	for _, in := range bad {
+		if _, _, err := DecodePart(in); err == nil {
+			t.Errorf("DecodePart(%x): want error, got nil", in)
+		}
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in, want []byte
+	}{
+		{[]byte("abc"), []byte("abd")},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0x00}, []byte{0x01}},
+	}
+	for _, c := range cases {
+		if got := PrefixSuccessor(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSuccessorProperty(t *testing.T) {
+	f := func(p, suffix []byte) bool {
+		if len(p) == 0 {
+			return true
+		}
+		succ := PrefixSuccessor(p)
+		if succ == nil {
+			for _, b := range p {
+				if b != 0xFF {
+					return false
+				}
+			}
+			return true
+		}
+		withPrefix := append(append([]byte(nil), p...), suffix...)
+		return bytes.Compare(withPrefix, succ) < 0 && bytes.Compare(p, succ) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseKeySplit(t *testing.T) {
+	key := BaseKey([]byte("user42"), []byte("title"))
+	row, col, err := SplitBaseKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(row) != "user42" || string(col) != "title" {
+		t.Errorf("got (%q, %q)", row, col)
+	}
+	if _, _, err := SplitBaseKey(EncodeComposite([]byte("a"))); err == nil {
+		t.Error("1-part base key: want error")
+	}
+	if _, _, err := SplitBaseKey([]byte{0x00}); err == nil {
+		t.Error("malformed base key: want error")
+	}
+}
+
+func TestRowPrefixCoversAllColumns(t *testing.T) {
+	row := []byte("user\x001")
+	prefix := RowPrefix(row)
+	for _, col := range []string{"", "a", "title", "\x00"} {
+		key := BaseKey(row, []byte(col))
+		if !bytes.HasPrefix(key, prefix) {
+			t.Errorf("BaseKey(row, %q) does not have RowPrefix(row)", col)
+		}
+	}
+	other := BaseKey([]byte("user\x0012"), []byte("a"))
+	if bytes.HasPrefix(other, prefix) {
+		t.Error("RowPrefix matched a longer row key")
+	}
+}
+
+func TestIndexKeySplit(t *testing.T) {
+	key := IndexKey([]byte("The Matrix"), []byte("item9"))
+	v, row, err := SplitIndexKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "The Matrix" || string(row) != "item9" {
+		t.Errorf("got (%q, %q)", v, row)
+	}
+	if _, _, err := SplitIndexKey(EncodeComposite([]byte("a"), []byte("b"), []byte("c"))); err == nil {
+		t.Error("3-part index key: want error")
+	}
+}
+
+func TestIndexValuePrefixExactMatchOnly(t *testing.T) {
+	prefix := IndexValuePrefix([]byte("red"))
+	if !bytes.HasPrefix(IndexKey([]byte("red"), []byte("r1")), prefix) {
+		t.Error("exact value not covered by prefix")
+	}
+	if bytes.HasPrefix(IndexKey([]byte("redder"), []byte("r1")), prefix) {
+		t.Error("longer value wrongly covered by prefix")
+	}
+}
+
+func TestIndexValueRange(t *testing.T) {
+	lo, hi := IndexValueRange([]byte("b"), []byte("d"))
+	in := [][]byte{
+		IndexKey([]byte("b"), []byte("r")),
+		IndexKey([]byte("bz"), []byte("r")),
+		IndexKey([]byte("d"), []byte("r")),
+		IndexKey([]byte("d"), []byte("zzz")),
+	}
+	out := [][]byte{
+		IndexKey([]byte("az"), []byte("r")),
+		IndexKey([]byte("dz"), []byte("r")), // value "dz" > high "d": excluded
+		IndexKey([]byte("e"), []byte("r")),
+	}
+	for _, k := range in {
+		if bytes.Compare(k, lo) < 0 || (hi != nil && bytes.Compare(k, hi) >= 0) {
+			t.Errorf("key %x should be inside [%x, %x)", k, lo, hi)
+		}
+	}
+	for _, k := range out {
+		if bytes.Compare(k, lo) >= 0 && (hi == nil || bytes.Compare(k, hi) < 0) {
+			t.Errorf("key %x should be outside [%x, %x)", k, lo, hi)
+		}
+	}
+	if _, hi := IndexValueRange([]byte("b"), nil); hi != nil {
+		t.Error("nil high must produce nil hi bound")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,89 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalIndexKeyRoundTrip(t *testing.T) {
+	key := LocalIndexKey("lidx_t_a", []byte("value"), []byte("row1"))
+	v, row, err := SplitLocalIndexKey("lidx_t_a", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "value" || string(row) != "row1" {
+		t.Errorf("got (%q, %q)", v, row)
+	}
+	if _, _, err := SplitLocalIndexKey("other", key); err == nil {
+		t.Error("wrong index name accepted")
+	}
+	if _, _, err := SplitLocalIndexKey("lidx_t_a", BaseKey([]byte("r"), []byte("c"))); err == nil {
+		t.Error("base key accepted as local index key")
+	}
+}
+
+// TestLocalIndexKeysDisjointFromBaseKeys is the namespace invariant: no
+// base key ever falls in the local-index key space, and every local key
+// sorts below BaseDataStart.
+func TestLocalIndexKeysDisjointFromBaseKeys(t *testing.T) {
+	f := func(row, col, value []byte, name string) bool {
+		if name == "" {
+			name = "i"
+		}
+		base := BaseKey(row, col)
+		local := LocalIndexKey(name, value, row)
+		return bytes.Compare(base, BaseDataStart) >= 0 &&
+			bytes.Compare(local, BaseDataStart) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// The adversarial corner: empty row, empty column.
+	if bytes.Compare(BaseKey(nil, nil), BaseDataStart) < 0 {
+		t.Error("empty base key below BaseDataStart")
+	}
+	if bytes.Compare(BaseKey([]byte{0}, nil), BaseDataStart) < 0 {
+		t.Error("0x00-leading base key below BaseDataStart")
+	}
+}
+
+func TestLocalIndexValuePrefixAndRange(t *testing.T) {
+	name := "lidx_t_price"
+	k10 := LocalIndexKey(name, []byte("10"), []byte("r1"))
+	k20 := LocalIndexKey(name, []byte("20"), []byte("r2"))
+	k30 := LocalIndexKey(name, []byte("30"), []byte("r3"))
+	other := LocalIndexKey("lidx_t_other", []byte("20"), []byte("r2"))
+
+	prefix := LocalIndexValuePrefix(name, []byte("20"))
+	if !bytes.HasPrefix(k20, prefix) {
+		t.Error("exact value not covered")
+	}
+	if bytes.HasPrefix(k10, prefix) || bytes.HasPrefix(other, prefix) {
+		t.Error("prefix overmatches")
+	}
+
+	lo, hi := LocalIndexValueRange(name, []byte("10"), []byte("20"))
+	inRange := func(k []byte) bool {
+		return bytes.Compare(k, lo) >= 0 && bytes.Compare(k, hi) < 0
+	}
+	if !inRange(k10) || !inRange(k20) {
+		t.Error("range misses inclusive bounds")
+	}
+	if inRange(k30) || inRange(other) {
+		t.Error("range overmatches")
+	}
+
+	// Unbounded high still stays within this index's name space.
+	lo, hi = LocalIndexValueRange(name, []byte("10"), nil)
+	if !inRange2(lo, hi, k10) || !inRange2(lo, hi, k30) {
+		t.Error("open range misses entries")
+	}
+	if inRange2(lo, hi, other) {
+		t.Error("open range leaks into another index")
+	}
+}
+
+func inRange2(lo, hi, k []byte) bool {
+	return bytes.Compare(k, lo) >= 0 && (hi == nil || bytes.Compare(k, hi) < 0)
+}

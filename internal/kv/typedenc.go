@@ -1,0 +1,194 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Typed order-preserving value encodings.
+//
+// Index values are compared as raw bytes, so columns holding numbers must be
+// encoded order-preservingly for range queries to work — the paper's Big SQL
+// integration indexes "dense columns" whose fields carry "a different type
+// and encoding" (§7). These encoders map Go values to byte strings whose
+// lexicographic order equals the natural order of the values:
+//
+//	EncodeUint64   big-endian
+//	EncodeInt64    sign-flipped big-endian (negatives sort before positives)
+//	EncodeFloat64  IEEE-754 with sign-dependent bit flips (total order,
+//	               -Inf < … < -0 ≤ +0 < … < +Inf; NaN sorts last)
+//	EncodeBool     false < true
+//
+// Strings need no encoding (byte order is string order).
+
+// EncodeUint64 encodes v so byte order equals numeric order.
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// DecodeUint64 reverses EncodeUint64.
+func DecodeUint64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("kv: uint64 encoding has %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// EncodeInt64 encodes v so byte order equals numeric order, including
+// negative values.
+func EncodeInt64(v int64) []byte {
+	return EncodeUint64(uint64(v) ^ (1 << 63))
+}
+
+// DecodeInt64 reverses EncodeInt64.
+func DecodeInt64(b []byte) (int64, error) {
+	u, err := DecodeUint64(b)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u ^ (1 << 63)), nil
+}
+
+// EncodeFloat64 encodes v so byte order equals IEEE-754 total order. NaN
+// encodes above +Inf.
+func EncodeFloat64(v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip everything so larger magnitude sorts first
+	} else {
+		bits ^= 1 << 63 // positive: flip the sign bit so positives sort above negatives
+	}
+	return EncodeUint64(bits)
+}
+
+// DecodeFloat64 reverses EncodeFloat64.
+func DecodeFloat64(b []byte) (float64, error) {
+	bits, err := DecodeUint64(b)
+	if err != nil {
+		return 0, err
+	}
+	if bits&(1<<63) != 0 {
+		bits ^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// EncodeBool encodes false < true.
+func EncodeBool(v bool) []byte {
+	if v {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeBool reverses EncodeBool.
+func DecodeBool(b []byte) (bool, error) {
+	if len(b) != 1 || b[0] > 1 {
+		return false, fmt.Errorf("kv: bad bool encoding %x", b)
+	}
+	return b[0] == 1, nil
+}
+
+// DenseField is one typed field of a dense column (§7): a column that packs
+// several typed fields into a single value to cut per-cell overhead.
+type DenseField struct {
+	// Kind discriminates the field's type.
+	Kind DenseKind
+	// Exactly one of the following is meaningful, per Kind.
+	Uint  uint64
+	Int   int64
+	Float float64
+	Bool  bool
+	Bytes []byte
+}
+
+// DenseKind enumerates dense-field types.
+type DenseKind uint8
+
+// Dense-field type tags. Their numeric order is irrelevant (every field is
+// prefixed by its kind, and heterogeneous comparisons follow tag order).
+const (
+	DenseUint DenseKind = iota + 1
+	DenseInt
+	DenseFloat
+	DenseBool
+	DenseBytes
+)
+
+// Uint64Field, Int64Field, Float64Field, BoolField and BytesField build
+// DenseField values.
+func Uint64Field(v uint64) DenseField   { return DenseField{Kind: DenseUint, Uint: v} }
+func Int64Field(v int64) DenseField     { return DenseField{Kind: DenseInt, Int: v} }
+func Float64Field(v float64) DenseField { return DenseField{Kind: DenseFloat, Float: v} }
+func BoolField(v bool) DenseField       { return DenseField{Kind: DenseBool, Bool: v} }
+func BytesField(v []byte) DenseField    { return DenseField{Kind: DenseBytes, Bytes: v} }
+
+// EncodeDense packs typed fields into one order-preserving value: two dense
+// values compare field-by-field in their natural type order (fields of
+// different kinds compare by kind tag). Usable both as a dense column value
+// and as a typed composite index value.
+func EncodeDense(fields ...DenseField) []byte {
+	var out []byte
+	for _, f := range fields {
+		part := []byte{byte(f.Kind)}
+		switch f.Kind {
+		case DenseUint:
+			part = append(part, EncodeUint64(f.Uint)...)
+		case DenseInt:
+			part = append(part, EncodeInt64(f.Int)...)
+		case DenseFloat:
+			part = append(part, EncodeFloat64(f.Float)...)
+		case DenseBool:
+			part = append(part, EncodeBool(f.Bool)...)
+		case DenseBytes:
+			part = append(part, f.Bytes...)
+		}
+		out = AppendPart(out, part)
+	}
+	return out
+}
+
+// DecodeDense unpacks a dense value produced by EncodeDense.
+func DecodeDense(b []byte) ([]DenseField, error) {
+	parts, err := DecodeComposite(b)
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]DenseField, 0, len(parts))
+	for _, part := range parts {
+		if len(part) == 0 {
+			return nil, fmt.Errorf("kv: empty dense field")
+		}
+		f := DenseField{Kind: DenseKind(part[0])}
+		body := part[1:]
+		switch f.Kind {
+		case DenseUint:
+			if f.Uint, err = DecodeUint64(body); err != nil {
+				return nil, err
+			}
+		case DenseInt:
+			if f.Int, err = DecodeInt64(body); err != nil {
+				return nil, err
+			}
+		case DenseFloat:
+			if f.Float, err = DecodeFloat64(body); err != nil {
+				return nil, err
+			}
+		case DenseBool:
+			if f.Bool, err = DecodeBool(body); err != nil {
+				return nil, err
+			}
+		case DenseBytes:
+			f.Bytes = append([]byte(nil), body...)
+		default:
+			return nil, fmt.Errorf("kv: unknown dense kind %d", part[0])
+		}
+		fields = append(fields, f)
+	}
+	return fields, nil
+}

@@ -1,0 +1,179 @@
+package kv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		cmp := bytes.Compare(EncodeUint64(a), EncodeUint64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := bytes.Compare(EncodeInt64(a), EncodeInt64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Boundary cases quick.Check may miss.
+	cases := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64}
+	for i := 1; i < len(cases); i++ {
+		if bytes.Compare(EncodeInt64(cases[i-1]), EncodeInt64(cases[i])) >= 0 {
+			t.Errorf("EncodeInt64(%d) !< EncodeInt64(%d)", cases[i-1], cases[i])
+		}
+	}
+}
+
+func TestFloat64OrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		cmp := bytes.Compare(EncodeFloat64(a), EncodeFloat64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp <= 0 // ±0 encode adjacently; -0 sorts ≤ +0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	ordered := []float64{math.Inf(-1), -1e300, -1.5, -1e-300, 0, 1e-300, 1.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(ordered); i++ {
+		if bytes.Compare(EncodeFloat64(ordered[i-1]), EncodeFloat64(ordered[i])) >= 0 {
+			t.Errorf("EncodeFloat64(%g) !< EncodeFloat64(%g)", ordered[i-1], ordered[i])
+		}
+	}
+	// NaN sorts above +Inf (total order).
+	if bytes.Compare(EncodeFloat64(math.NaN()), EncodeFloat64(math.Inf(1))) <= 0 {
+		t.Error("NaN must sort above +Inf")
+	}
+}
+
+func TestTypedRoundTrips(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, b bool) bool {
+		gu, err := DecodeUint64(EncodeUint64(u))
+		if err != nil || gu != u {
+			return false
+		}
+		gi, err := DecodeInt64(EncodeInt64(i))
+		if err != nil || gi != i {
+			return false
+		}
+		gf, err := DecodeFloat64(EncodeFloat64(fl))
+		if err != nil || (gf != fl && !(math.IsNaN(gf) && math.IsNaN(fl))) {
+			return false
+		}
+		gb, err := DecodeBool(EncodeBool(b))
+		return err == nil && gb == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypedDecodeErrors(t *testing.T) {
+	if _, err := DecodeUint64([]byte{1, 2, 3}); err == nil {
+		t.Error("short uint64 accepted")
+	}
+	if _, err := DecodeInt64(nil); err == nil {
+		t.Error("nil int64 accepted")
+	}
+	if _, err := DecodeFloat64([]byte{0}); err == nil {
+		t.Error("short float64 accepted")
+	}
+	if _, err := DecodeBool([]byte{2}); err == nil {
+		t.Error("bad bool accepted")
+	}
+	if _, err := DecodeBool([]byte{0, 1}); err == nil {
+		t.Error("long bool accepted")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	in := []DenseField{
+		Uint64Field(42),
+		Int64Field(-7),
+		Float64Field(3.25),
+		BoolField(true),
+		BytesField([]byte("tail\x00data")),
+	}
+	out, err := DecodeDense(EncodeDense(in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d fields", len(out))
+	}
+	if out[0].Uint != 42 || out[1].Int != -7 || out[2].Float != 3.25 || !out[3].Bool || string(out[4].Bytes) != "tail\x00data" {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDenseOrderPreserving(t *testing.T) {
+	// Dense values with a common prefix compare by the first differing
+	// field in its natural order.
+	lo := EncodeDense(BytesField([]byte("price")), Int64Field(-10))
+	mid := EncodeDense(BytesField([]byte("price")), Int64Field(5))
+	hi := EncodeDense(BytesField([]byte("price")), Int64Field(700))
+	if !(bytes.Compare(lo, mid) < 0 && bytes.Compare(mid, hi) < 0) {
+		t.Error("dense int ordering broken")
+	}
+	// Fewer fields sort before an extension (prefix rule).
+	short := EncodeDense(BytesField([]byte("price")))
+	if bytes.Compare(short, lo) >= 0 {
+		t.Error("prefix dense value must sort first")
+	}
+	// Floats order across sign.
+	fa := EncodeDense(Float64Field(-2.5))
+	fb := EncodeDense(Float64Field(1e-9))
+	if bytes.Compare(fa, fb) >= 0 {
+		t.Error("dense float ordering broken")
+	}
+}
+
+func TestDenseDecodeErrors(t *testing.T) {
+	if _, err := DecodeDense([]byte{0x00}); err == nil {
+		t.Error("malformed composite accepted")
+	}
+	bad := AppendPart(nil, []byte{99, 1, 2}) // unknown kind
+	if _, err := DecodeDense(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	empty := AppendPart(nil, nil) // empty field
+	if _, err := DecodeDense(empty); err == nil {
+		t.Error("empty field accepted")
+	}
+	shortInt := AppendPart(nil, []byte{byte(DenseInt), 1}) // truncated int
+	if _, err := DecodeDense(shortInt); err == nil {
+		t.Error("truncated int accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Package kv defines the cell data model shared by every layer of the
+// Diff-Index reproduction: multi-versioned cells identified by (row, column,
+// timestamp), the order-preserving key encodings used for composite and
+// secondary-index keys, the internal key layout used by the memtable and
+// SSTables, and the per-server monotonic clock that assigns timestamps.
+//
+// The model follows the paper's notation (§4): a record is a key/value pair
+// ⟨k, v, ts⟩ where k is the HBase row key plus column name, and the index
+// table is key-only with key v⊕k and a null value.
+package kv
+
+import "fmt"
+
+// Timestamp is a version number in "milliticks". It mirrors the paper's use
+// of System.currentTimeMillis(): a monotonically non-decreasing long integer
+// local to one region server. δ (Delta) is the smallest representable unit,
+// exactly as the paper's HBase implementation chooses 1 millisecond.
+type Timestamp = int64
+
+// Delta is the paper's δ: the smallest time unit. It is subtracted from a new
+// entry's timestamp to address the version immediately preceding it, e.g.
+// R_B(k, t_new − δ) and D_I(v_old ⊕ k, t_new − δ).
+const Delta Timestamp = 1
+
+// MaxTimestamp is the largest valid timestamp; reads at MaxTimestamp observe
+// the newest version of every cell.
+const MaxTimestamp Timestamp = 1<<63 - 1
+
+// Kind discriminates puts from delete tombstones. LSM stores never update in
+// place: a delete is a put of a tombstone whose timestamp masks all older
+// versions of the same key (§4.3).
+type Kind uint8
+
+const (
+	// KindPut is a regular value write.
+	KindPut Kind = iota
+	// KindDelete is a tombstone. A tombstone with timestamp T masks every
+	// version of the same user key with timestamp ≤ T.
+	KindDelete
+)
+
+// String returns "put" or "delete".
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Cell is one versioned key/value pair in a table: the paper's ⟨k, v, ts⟩.
+// Key is the flat user key (already row⊕column encoded for base tables, or
+// value⊕row encoded for index tables). Value is nil for tombstones and for
+// key-only index entries.
+type Cell struct {
+	Key   []byte
+	Value []byte
+	Ts    Timestamp
+	Kind  Kind
+}
+
+// Tombstone reports whether the cell is a delete marker.
+func (c Cell) Tombstone() bool { return c.Kind == KindDelete }
+
+// Clone returns a deep copy of the cell. Layers that retain cells beyond the
+// lifetime of the buffer they were decoded from must clone them.
+func (c Cell) Clone() Cell {
+	out := Cell{Ts: c.Ts, Kind: c.Kind}
+	if c.Key != nil {
+		out.Key = append([]byte(nil), c.Key...)
+	}
+	if c.Value != nil {
+		out.Value = append([]byte(nil), c.Value...)
+	}
+	return out
+}
+
+// String renders the cell for debugging.
+func (c Cell) String() string {
+	return fmt.Sprintf("⟨%q, %q, %d, %s⟩", c.Key, c.Value, c.Ts, c.Kind)
+}

@@ -1,0 +1,150 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/sstable"
+)
+
+func (s *Store) maybeScheduleCompaction() {
+	if s.compacting.CompareAndSwap(false, true) {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			defer s.compacting.Store(false)
+			// Failures leave the inputs in place; the next flush retries.
+			_ = s.Compact()
+		}()
+	}
+}
+
+// Compact merges every live SSTable into one (a major compaction, §2.1's
+// "C1, C2 and C3 are compacted into C1'"), garbage-collecting versions:
+// per user key at most MaxVersions puts are retained, and tombstones plus
+// everything they mask are dropped. Dropping tombstones at major compaction
+// mirrors HBase; a dropped tombstone can, in a narrow recovery race, let a
+// redelivered stale index entry resurface — which Diff-Index tolerates by
+// design (stale entries are repaired at read time or by later deliveries,
+// §4.2, §5.1).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if len(s.tables) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	inputs := make([]*tableHandle, len(s.tables))
+	copy(inputs, s.tables)
+	for _, h := range inputs {
+		h.acquire()
+	}
+	outNum := s.nextFile
+	s.nextFile++
+	s.mu.Unlock()
+
+	release := func() {
+		for _, h := range inputs {
+			h.release()
+		}
+	}
+
+	name := tableName(s.opts.Dir, outNum)
+	w, err := sstable.NewWriter(s.opts.FS, name)
+	if err != nil {
+		release()
+		return err
+	}
+	fail := func(err error) error {
+		w.Abandon()
+		s.opts.FS.Remove(name)
+		release()
+		return err
+	}
+
+	iters := make([]internalIterator, len(inputs))
+	for i, h := range inputs {
+		iters[i] = h.r.Iterator()
+	}
+	merged := newMergeIterator(iters)
+
+	var curUser []byte
+	kept, masked := 0, false
+	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
+		ikey := merged.InternalKey()
+		user := kv.InternalUserKey(ikey)
+		if curUser == nil || string(user) != string(curUser) {
+			curUser = append(curUser[:0], user...)
+			kept, masked = 0, false
+		}
+		if masked {
+			continue
+		}
+		c := merged.Cell()
+		if c.Tombstone() {
+			masked = true // drop the tombstone and everything below it
+			continue
+		}
+		if kept >= s.opts.MaxVersions {
+			continue
+		}
+		if err := w.Add(ikey, c.Value); err != nil {
+			return fail(err)
+		}
+		kept++
+	}
+	if err := merged.Err(); err != nil {
+		return fail(err)
+	}
+	if err := w.Finish(); err != nil {
+		release()
+		s.opts.FS.Remove(name)
+		return err
+	}
+	r, err := sstable.Open(s.opts.FS, name, s.opts.BlockCache)
+	if err != nil {
+		release()
+		return err
+	}
+
+	out := &tableHandle{r: r, store: s}
+	out.refs.Store(1)
+
+	// Install: the inputs form a suffix of the current table list (flushes
+	// prepend); replace that suffix with the single output.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		release()
+		r.Close()
+		s.opts.FS.Remove(name)
+		return ErrClosed
+	}
+	if len(s.tables) < len(inputs) {
+		s.mu.Unlock()
+		release()
+		return errors.New("lsm: table list shrank during compaction")
+	}
+	cut := len(s.tables) - len(inputs)
+	for i, h := range s.tables[cut:] {
+		if h != inputs[i] {
+			s.mu.Unlock()
+			release()
+			return fmt.Errorf("lsm: table list changed during compaction")
+		}
+	}
+	s.tables = append(append([]*tableHandle{}, s.tables[:cut]...), out)
+	s.mu.Unlock()
+
+	for _, h := range inputs {
+		h.dropped.Store(true)
+		h.release() // the store's own reference
+	}
+	release()
+	s.stats.compactions.Add(1)
+	return nil
+}

@@ -1,0 +1,145 @@
+package lsm
+
+import (
+	"container/heap"
+
+	"diffindex/internal/kv"
+)
+
+// internalIterator is the cursor contract shared by memtable and SSTable
+// iterators.
+type internalIterator interface {
+	SeekToFirst()
+	Seek(ikey []byte)
+	Valid() bool
+	Next()
+	InternalKey() []byte
+	Cell() kv.Cell
+}
+
+// errIterator lets SSTable iterators surface read errors.
+type errIterator interface {
+	Err() error
+}
+
+// mergeIterator k-way-merges component iterators in internal-key order.
+// Components are supplied newest-first; when two components hold an entry
+// with the same internal key (an idempotent redelivery, §5.3), the newer
+// component wins and the duplicate is skipped.
+type mergeIterator struct {
+	iters []internalIterator // index = component age, 0 newest
+	h     iterHeap
+	cur   internalIterator
+	err   error
+}
+
+type heapItem struct {
+	it   internalIterator
+	rank int // component index; lower = newer
+}
+
+type iterHeap []heapItem
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	c := kv.CompareInternal(h[i].it.InternalKey(), h[j].it.InternalKey())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].rank < h[j].rank
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *iterHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func newMergeIterator(iters []internalIterator) *mergeIterator {
+	return &mergeIterator{iters: iters}
+}
+
+func (m *mergeIterator) reset(position func(internalIterator)) {
+	m.h = m.h[:0]
+	m.cur = nil
+	for rank, it := range m.iters {
+		position(it)
+		if it.Valid() {
+			m.h = append(m.h, heapItem{it: it, rank: rank})
+		} else if e, ok := it.(errIterator); ok && e.Err() != nil && m.err == nil {
+			m.err = e.Err()
+		}
+	}
+	heap.Init(&m.h)
+	m.step()
+}
+
+// SeekToFirst positions at the globally smallest internal key.
+func (m *mergeIterator) SeekToFirst() {
+	m.reset(func(it internalIterator) { it.SeekToFirst() })
+}
+
+// Seek positions at the first entry with internal key ≥ ikey.
+func (m *mergeIterator) Seek(ikey []byte) {
+	m.reset(func(it internalIterator) { it.Seek(ikey) })
+}
+
+// step pops the next entry off the heap, de-duplicating identical internal
+// keys across components (newest component emitted, older skipped).
+func (m *mergeIterator) step() {
+	if len(m.h) == 0 {
+		m.cur = nil
+		return
+	}
+	top := m.h[0]
+	m.cur = top.it
+	// Advance duplicates in older components past the emitted key. The
+	// emitted entry itself is advanced in Next.
+	for len(m.h) > 1 {
+		// Find whether the runner-up equals the current key. The heap's
+		// second-smallest is at index 1 or 2.
+		idx := 1
+		if len(m.h) > 2 && m.h.Less(2, 1) {
+			idx = 2
+		}
+		if kv.CompareInternal(m.h[idx].it.InternalKey(), m.cur.InternalKey()) != 0 {
+			break
+		}
+		dup := m.h[idx].it
+		dup.Next()
+		if dup.Valid() {
+			heap.Fix(&m.h, idx)
+		} else {
+			if e, ok := dup.(errIterator); ok && e.Err() != nil && m.err == nil {
+				m.err = e.Err()
+			}
+			heap.Remove(&m.h, idx)
+		}
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (m *mergeIterator) Valid() bool { return m.cur != nil && m.err == nil }
+
+// Next advances past the current entry.
+func (m *mergeIterator) Next() {
+	if m.cur == nil {
+		return
+	}
+	m.cur.Next()
+	if m.cur.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		if e, ok := m.cur.(errIterator); ok && e.Err() != nil && m.err == nil {
+			m.err = e.Err()
+		}
+		heap.Pop(&m.h)
+	}
+	m.step()
+}
+
+// InternalKey returns the current internal key.
+func (m *mergeIterator) InternalKey() []byte { return m.cur.InternalKey() }
+
+// Cell decodes the current entry.
+func (m *mergeIterator) Cell() kv.Cell { return m.cur.Cell() }
+
+// Err returns the first component error observed.
+func (m *mergeIterator) Err() error { return m.err }

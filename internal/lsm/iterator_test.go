@@ -1,0 +1,208 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/memtable"
+)
+
+// buildMemtable makes a memtable component from (key, ts, value) triples.
+func buildMemtable(entries ...[3]string) *memtable.Memtable {
+	m := memtable.New()
+	for _, e := range entries {
+		var ts kv.Timestamp
+		fmt.Sscanf(e[1], "%d", &ts)
+		if e[2] == "DEL" {
+			m.Delete([]byte(e[0]), ts)
+		} else {
+			m.Put([]byte(e[0]), []byte(e[2]), ts)
+		}
+	}
+	return m
+}
+
+func collect(t *testing.T, it *mergeIterator) []string {
+	t.Helper()
+	var out []string
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		c := it.Cell()
+		out = append(out, fmt.Sprintf("%s@%d=%s/%s", c.Key, c.Ts, c.Value, c.Kind))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMergeIteratorInterleavesComponents(t *testing.T) {
+	a := buildMemtable([3]string{"a", "3", "a3"}, [3]string{"c", "1", "c1"})
+	b := buildMemtable([3]string{"a", "1", "a1"}, [3]string{"b", "2", "b2"})
+	it := newMergeIterator([]internalIterator{a.Iterator(), b.Iterator()})
+	got := collect(t, it)
+	want := []string{"a@3=a3/put", "a@1=a1/put", "b@2=b2/put", "c@1=c1/put"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMergeIteratorDeduplicatesIdenticalEntries(t *testing.T) {
+	// The same (key, ts, kind) in three components — the idempotent
+	// redelivery case of §5.3 — must be emitted once, from the newest
+	// component.
+	newest := buildMemtable([3]string{"k", "5", "fresh"})
+	mid := buildMemtable([3]string{"k", "5", "stale1"})
+	old := buildMemtable([3]string{"k", "5", "stale2"}, [3]string{"z", "1", "z1"})
+	it := newMergeIterator([]internalIterator{newest.Iterator(), mid.Iterator(), old.Iterator()})
+	got := collect(t, it)
+	want := []string{"k@5=fresh/put", "z@1=z1/put"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMergeIteratorSeek(t *testing.T) {
+	a := buildMemtable([3]string{"a", "1", "a1"}, [3]string{"m", "1", "m1"})
+	b := buildMemtable([3]string{"f", "1", "f1"}, [3]string{"z", "1", "z1"})
+	it := newMergeIterator([]internalIterator{a.Iterator(), b.Iterator()})
+	it.Seek(kv.SeekKey([]byte("f"), kv.MaxTimestamp))
+	var got []string
+	for ; it.Valid(); it.Next() {
+		got = append(got, string(it.Cell().Key))
+	}
+	want := []string{"f", "m", "z"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMergeIteratorEmptyComponents(t *testing.T) {
+	it := newMergeIterator([]internalIterator{
+		memtable.New().Iterator(),
+		memtable.New().Iterator(),
+	})
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Error("merge of empties is valid")
+	}
+	it.Next() // must not panic
+	none := newMergeIterator(nil)
+	none.SeekToFirst()
+	if none.Valid() {
+		t.Error("merge of nothing is valid")
+	}
+}
+
+// errIter wraps an iterator and fails after n steps.
+type errIter struct {
+	internalIterator
+	stepsLeft int
+	err       error
+}
+
+func (e *errIter) Next() {
+	e.stepsLeft--
+	if e.stepsLeft <= 0 {
+		e.err = errors.New("injected iterator failure")
+		return
+	}
+	e.internalIterator.Next()
+}
+func (e *errIter) Valid() bool {
+	if e.err != nil {
+		return false
+	}
+	return e.internalIterator.Valid()
+}
+func (e *errIter) Err() error { return e.err }
+
+func TestMergeIteratorSurfacesComponentErrors(t *testing.T) {
+	m := buildMemtable([3]string{"a", "1", "1"}, [3]string{"b", "1", "1"}, [3]string{"c", "1", "1"})
+	bad := &errIter{internalIterator: m.Iterator(), stepsLeft: 2}
+	it := newMergeIterator([]internalIterator{bad})
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+	}
+	if it.Err() == nil {
+		t.Error("component error not surfaced")
+	}
+	if count >= 3 {
+		t.Error("iteration continued past the failure")
+	}
+}
+
+// TestMergeIteratorRandomizedAgainstSort merges random components and
+// compares against a flat sort with exact-duplicate removal.
+func TestMergeIteratorRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		nComponents := 1 + rng.Intn(5)
+		comps := make([]*memtable.Memtable, nComponents)
+		type entry struct {
+			ikey string
+			comp int
+		}
+		seen := map[string]int{} // internal key → newest component holding it
+		for ci := range comps {
+			comps[ci] = memtable.New()
+			for j := 0; j < 30; j++ {
+				key := []byte{byte('a' + rng.Intn(6))}
+				ts := kv.Timestamp(rng.Intn(10) + 1)
+				del := rng.Intn(5) == 0
+				if del {
+					comps[ci].Delete(key, ts)
+				} else {
+					comps[ci].Put(key, []byte(fmt.Sprintf("c%d", ci)), ts)
+				}
+				kind := kv.KindPut
+				if del {
+					kind = kv.KindDelete
+				}
+				ik := string(kv.InternalKey(key, ts, kind))
+				if prev, ok := seen[ik]; !ok || ci < prev {
+					seen[ik] = ci
+				}
+			}
+		}
+		var wantKeys []string
+		for ik := range seen {
+			wantKeys = append(wantKeys, ik)
+		}
+		sort.Slice(wantKeys, func(i, j int) bool {
+			return kv.CompareInternal([]byte(wantKeys[i]), []byte(wantKeys[j])) < 0
+		})
+
+		iters := make([]internalIterator, nComponents)
+		for i, m := range comps {
+			iters[i] = m.Iterator()
+		}
+		it := newMergeIterator(iters)
+		var got []string
+		var gotComp []string
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			got = append(got, string(it.InternalKey()))
+			gotComp = append(gotComp, string(it.Cell().Value))
+		}
+		if len(got) != len(wantKeys) {
+			t.Fatalf("trial %d: %d entries, want %d", trial, len(got), len(wantKeys))
+		}
+		for i := range got {
+			if got[i] != wantKeys[i] {
+				t.Fatalf("trial %d: position %d mismatch", trial, i)
+			}
+			// Duplicates must come from the newest component.
+			uk, ts, kind, _ := kv.ParseInternalKey([]byte(got[i]))
+			if kind == kv.KindPut {
+				wantComp := fmt.Sprintf("c%d", seen[got[i]])
+				if gotComp[i] != wantComp {
+					t.Fatalf("trial %d: key %q@%d from %s, want %s", trial, uk, ts, gotComp[i], wantComp)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package lsm implements the log-structured merge store that underlies every
+// table region: the paper's abstract LSM model (§2.1) as realized by HBase
+// (§2.2). A store is one memtable plus a set of immutable SSTables; writes
+// append to the WAL and memtable, flushes turn memtables into SSTables, and
+// compactions merge SSTables back into one. Reads merge all components under
+// MVCC timestamp visibility.
+//
+// Two LSM-specific properties drive the Diff-Index design and are faithfully
+// reproduced here: writes never update in place (puts and deletes both
+// append versions), and reads are much slower than writes (reads may touch
+// every component and pay simulated disk latency through the VFS).
+//
+// The store exposes the two coprocessor-style hook points Diff-Index needs:
+// a pre-flush hook (pause-and-drain the AUQ, §5.3) and a WAL-replay callback
+// (re-enqueue recovered puts into the AUQ, §5.3).
+package lsm
+
+import (
+	"diffindex/internal/kv"
+	"diffindex/internal/sstable"
+	"diffindex/internal/vfs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// FS is the file system holding WAL segments and SSTables. Required.
+	FS vfs.FS
+	// Dir is the store's directory prefix inside FS. Required.
+	Dir string
+	// MemtableBytes is the approximate memtable size that triggers a flush.
+	// Defaults to 4 MiB.
+	MemtableBytes int64
+	// MaxVersions is the number of versions per user key retained by
+	// compaction, mirroring HBase's VERSIONS column-family attribute.
+	// Defaults to 3.
+	MaxVersions int
+	// CompactionThreshold is the SSTable count that triggers a merge of all
+	// tables into one. Defaults to 4.
+	CompactionThreshold int
+	// BlockCache, when non-nil, caches SSTable data blocks across the store
+	// (typically shared by every store on a region server).
+	BlockCache *sstable.BlockCache
+	// OnReplay, when non-nil, is invoked for every cell recovered from the
+	// WAL during Open, in log order. Diff-Index uses it to re-enqueue index
+	// work (§5.3: "each base put replayed is also put into AUQ again").
+	OnReplay func(kv.Cell)
+	// DisableAutoFlush turns off size-triggered flushes (tests flush
+	// explicitly for determinism).
+	DisableAutoFlush bool
+	// DisableAutoCompact turns off count-triggered compactions.
+	DisableAutoCompact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.MaxVersions <= 0 {
+		o.MaxVersions = 3
+	}
+	if o.CompactionThreshold <= 0 {
+		o.CompactionThreshold = 4
+	}
+	return o
+}
+
+// Stats exposes cumulative operation counters for a store.
+type Stats struct {
+	Puts        int64
+	Deletes     int64
+	Gets        int64
+	Scans       int64
+	Flushes     int64
+	Compactions int64
+}

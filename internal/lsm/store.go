@@ -1,0 +1,562 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/memtable"
+	"diffindex/internal/sstable"
+	"diffindex/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("lsm: store is closed")
+
+// tableHandle reference-counts an open SSTable reader so that compactions can
+// retire tables while reads are still in flight against them.
+type tableHandle struct {
+	r    *sstable.Reader
+	refs atomic.Int32
+	// dropped marks the table as replaced by a compaction: when the last
+	// reference is released the file is deleted.
+	dropped atomic.Bool
+	store   *Store
+}
+
+func (h *tableHandle) acquire() { h.refs.Add(1) }
+
+func (h *tableHandle) release() {
+	if h.refs.Add(-1) == 0 && h.dropped.Load() {
+		h.store.opts.BlockCache.DropTable(h.r.Name())
+		h.r.Close()
+		h.store.opts.FS.Remove(h.r.Name())
+	}
+}
+
+// Store is one LSM tree: the storage engine behind a single region of a
+// single table.
+type Store struct {
+	opts Options
+
+	// writeGate serializes writers against the pause-and-drain window of a
+	// flush: writers hold it shared, the flush's pre-flush phase holds it
+	// exclusively (§5.3 "1. pause & drain").
+	writeGate sync.RWMutex
+
+	mu       sync.RWMutex // guards the component lists and file numbering
+	mem      *memtable.Memtable
+	imm      []*memtable.Memtable // newest first
+	tables   []*tableHandle       // newest first
+	log      *wal.Log
+	nextFile uint64
+	closed   bool
+
+	flushMu    sync.Mutex // serializes flushes
+	flushing   atomic.Bool
+	compacting atomic.Bool
+	bg         sync.WaitGroup
+
+	preFlush []func() // coprocessor hooks run inside the write gate
+
+	stats struct {
+		puts, deletes, gets, scans, flushes, compactions atomic.Int64
+	}
+}
+
+// Open opens (or creates) the store in opts.Dir, replaying any WAL left by a
+// previous incarnation into a fresh memtable and invoking opts.OnReplay for
+// each recovered cell.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.FS == nil || opts.Dir == "" {
+		return nil, errors.New("lsm: Options.FS and Options.Dir are required")
+	}
+	s := &Store{opts: opts, mem: memtable.New()}
+
+	// Open existing SSTables, newest (highest file number) first.
+	names, err := opts.FS.List(opts.Dir + "/")
+	if err != nil {
+		return nil, fmt.Errorf("lsm: list %s: %w", opts.Dir, err)
+	}
+	var nums []uint64
+	for _, name := range names {
+		if n, ok := parseTableNum(opts.Dir, name); ok {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] > nums[j] })
+	for _, n := range nums {
+		r, err := sstable.Open(opts.FS, tableName(opts.Dir, n), opts.BlockCache)
+		if err != nil {
+			return nil, err
+		}
+		h := &tableHandle{r: r, store: s}
+		h.refs.Store(1) // the store's own reference
+		s.tables = append(s.tables, h)
+		if n >= s.nextFile {
+			s.nextFile = n + 1
+		}
+	}
+
+	// Replay the WAL into the memtable; surface each cell to OnReplay so
+	// Diff-Index can re-enqueue index work.
+	log, err := wal.Open(opts.FS, opts.Dir+"/wal", func(rec wal.Record) {
+		c := rec.Cell()
+		s.mem.Add(c)
+		if opts.OnReplay != nil {
+			opts.OnReplay(c)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+func tableName(dir string, n uint64) string {
+	return fmt.Sprintf("%s/%020d.sst", dir, n)
+}
+
+func parseTableNum(dir, name string) (uint64, bool) {
+	prefix := dir + "/"
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".sst") {
+		return 0, false
+	}
+	numStr := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".sst")
+	if strings.Contains(numStr, "/") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(numStr, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// RegisterPreFlush adds a hook run at the start of every flush, while new
+// writes are paused and before the memtable is swapped — the coprocessor
+// point where Diff-Index drains the AUQ (§5.3).
+func (s *Store) RegisterPreFlush(hook func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.preFlush = append(s.preFlush, hook)
+}
+
+// Put appends a value version: WAL first, then memtable (§2.2).
+func (s *Store) Put(key, value []byte, ts kv.Timestamp) error {
+	return s.apply(kv.Cell{Key: key, Value: value, Ts: ts, Kind: kv.KindPut})
+}
+
+// Delete appends a tombstone masking versions of key with timestamp ≤ ts.
+func (s *Store) Delete(key []byte, ts kv.Timestamp) error {
+	return s.apply(kv.Cell{Key: key, Ts: ts, Kind: kv.KindDelete})
+}
+
+// Apply appends a pre-built cell (used by replay and idempotent redelivery).
+func (s *Store) Apply(c kv.Cell) error { return s.apply(c) }
+
+// Pipeline runs fn while holding the store's write gate shared. A flush's
+// pause-and-drain phase (§5.3) holds the gate exclusively, so everything fn
+// does — applying cells via ApplyBatchLocked and enqueueing asynchronous
+// index work — is atomic with respect to the memtable swap: work enqueued
+// inside a pipeline always refers to data in the *current* memtable, which
+// is the paper's PR(Flushed) = ∅ invariant. fn must not call Put, Delete,
+// Apply, ApplyBatch or Flush on this store (the gate is not reentrant); use
+// ApplyBatchLocked instead.
+func (s *Store) Pipeline(fn func() error) error {
+	s.writeGate.RLock()
+	defer s.writeGate.RUnlock()
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return fn()
+}
+
+// ApplyBatchLocked is ApplyBatch without acquiring the write gate. Callers
+// must guarantee ordering against flushes themselves: either they run inside
+// a Pipeline callback (the gate is already held — acquiring it again would
+// deadlock), or they run from work a flush's pre-flush hook waits on (e.g.
+// this region's AUQ, which is drained to completion before the memtable
+// swap).
+func (s *Store) ApplyBatchLocked(cells []kv.Cell) error {
+	return s.applyBatch(cells)
+}
+
+// ApplyBatch appends several cells with one WAL sync (HBase group-commits a
+// multi-column put as one WAL edit, giving row-level durability atomicity).
+func (s *Store) ApplyBatch(cells []kv.Cell) error {
+	s.writeGate.RLock()
+	defer s.writeGate.RUnlock()
+	return s.applyBatch(cells)
+}
+
+func (s *Store) applyBatch(cells []kv.Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	log, mem := s.log, s.mem
+	s.mu.RUnlock()
+
+	recs := make([]wal.Record, len(cells))
+	for i, c := range cells {
+		recs[i] = wal.Record{Key: c.Key, Value: c.Value, Ts: c.Ts, Kind: c.Kind}
+	}
+	if err := log.AppendBatch(recs); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		mem.Add(c)
+		if c.Kind == kv.KindDelete {
+			s.stats.deletes.Add(1)
+		} else {
+			s.stats.puts.Add(1)
+		}
+	}
+	if !s.opts.DisableAutoFlush && mem.ApproximateBytes() >= s.opts.MemtableBytes {
+		s.maybeScheduleFlush()
+	}
+	return nil
+}
+
+func (s *Store) apply(c kv.Cell) error {
+	s.writeGate.RLock()
+	defer s.writeGate.RUnlock()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	log, mem := s.log, s.mem
+	s.mu.RUnlock()
+
+	if err := log.Append(wal.Record{Key: c.Key, Value: c.Value, Ts: c.Ts, Kind: c.Kind}); err != nil {
+		return err
+	}
+	mem.Add(c)
+	if c.Kind == kv.KindDelete {
+		s.stats.deletes.Add(1)
+	} else {
+		s.stats.puts.Add(1)
+	}
+	if !s.opts.DisableAutoFlush && mem.ApproximateBytes() >= s.opts.MemtableBytes {
+		s.maybeScheduleFlush()
+	}
+	return nil
+}
+
+func (s *Store) maybeScheduleFlush() {
+	if s.flushing.CompareAndSwap(false, true) {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			defer s.flushing.Store(false)
+			if err := s.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+				// Background flush failures leave data in the memtable and
+				// WAL; the next flush retries. Nothing is lost.
+				return
+			}
+		}()
+	}
+}
+
+// Flush persists the current memtable as an SSTable. The sequence follows
+// §5.3: (1) pause writes and run pre-flush hooks (Diff-Index drains the AUQ
+// here), (2) roll the WAL and swap in a fresh memtable, (3) write the
+// SSTable, (4) install it and roll the WAL forward (truncate old segments).
+func (s *Store) Flush() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	// Phase 1-2: pause & drain, then swap, under the exclusive write gate.
+	s.writeGate.Lock()
+	s.mu.RLock()
+	hooks := s.preFlush
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		s.writeGate.Unlock()
+		return ErrClosed
+	}
+	for _, hook := range hooks {
+		hook()
+	}
+	s.mu.Lock()
+	old := s.mem
+	if old.Len() == 0 {
+		s.mu.Unlock()
+		s.writeGate.Unlock()
+		return nil
+	}
+	keepSeg, err := s.log.Roll()
+	if err != nil {
+		s.mu.Unlock()
+		s.writeGate.Unlock()
+		return err
+	}
+	s.mem = memtable.New()
+	s.imm = append([]*memtable.Memtable{old}, s.imm...)
+	fileNum := s.nextFile
+	s.nextFile++
+	s.mu.Unlock()
+	s.writeGate.Unlock()
+
+	// Phase 3: write the SSTable without blocking writers.
+	name := tableName(s.opts.Dir, fileNum)
+	w, err := sstable.NewWriter(s.opts.FS, name)
+	if err != nil {
+		return err
+	}
+	it := old.Iterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		c := it.Cell()
+		if err := w.Add(it.InternalKey(), c.Value); err != nil {
+			w.Abandon()
+			s.opts.FS.Remove(name)
+			return err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		s.opts.FS.Remove(name)
+		return err
+	}
+	r, err := sstable.Open(s.opts.FS, name, s.opts.BlockCache)
+	if err != nil {
+		return err
+	}
+
+	// Phase 4: install and roll the WAL forward.
+	h := &tableHandle{r: r, store: s}
+	h.refs.Store(1)
+	s.mu.Lock()
+	s.tables = append([]*tableHandle{h}, s.tables...)
+	for i, m := range s.imm {
+		if m == old {
+			s.imm = append(s.imm[:i], s.imm[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if err := s.log.TruncateBefore(keepSeg); err != nil {
+		return err
+	}
+	s.stats.flushes.Add(1)
+
+	if !s.opts.DisableAutoCompact {
+		s.mu.RLock()
+		n := len(s.tables)
+		s.mu.RUnlock()
+		if n >= s.opts.CompactionThreshold {
+			s.maybeScheduleCompaction()
+		}
+	}
+	return nil
+}
+
+// components snapshots the store's components newest-first, acquiring table
+// references the caller must release via the returned function.
+func (s *Store) components() ([]*memtable.Memtable, []*tableHandle, func(), error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, nil, nil, ErrClosed
+	}
+	mems := make([]*memtable.Memtable, 0, 1+len(s.imm))
+	mems = append(mems, s.mem)
+	mems = append(mems, s.imm...)
+	tables := make([]*tableHandle, len(s.tables))
+	copy(tables, s.tables)
+	for _, h := range tables {
+		h.acquire()
+	}
+	release := func() {
+		for _, h := range tables {
+			h.release()
+		}
+	}
+	return mems, tables, release, nil
+}
+
+// Get returns the newest non-tombstone version of key with timestamp ≤ ts.
+// The bool reports whether such a version exists. Following LSM semantics,
+// the winning version is the one with the largest timestamp across all
+// components; a tombstone at that timestamp hides the key.
+func (s *Store) Get(key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
+	c, ok, err := s.GetCell(key, ts)
+	if err != nil || !ok || c.Tombstone() {
+		return kv.Cell{}, false, err
+	}
+	return c, true, nil
+}
+
+// GetCell is like Get but also surfaces tombstones: ok is true when any
+// version (including a delete marker) is visible at ts. Diff-Index read
+// repair uses it to distinguish "no version" from "deleted".
+func (s *Store) GetCell(key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
+	s.stats.gets.Add(1)
+	mems, tables, release, err := s.components()
+	if err != nil {
+		return kv.Cell{}, false, err
+	}
+	defer release()
+
+	var best kv.Cell
+	found := false
+	consider := func(c kv.Cell) {
+		switch {
+		case !found:
+			best, found = c.Clone(), true
+		case c.Ts > best.Ts:
+			best = c.Clone()
+		case c.Ts == best.Ts && c.Tombstone() && !best.Tombstone():
+			// A tombstone beats a put at the same timestamp (HBase rule).
+			best = c.Clone()
+		}
+	}
+	for _, m := range mems {
+		if c, ok := m.Get(key, ts); ok {
+			consider(c)
+		}
+	}
+	for _, h := range tables {
+		c, ok, err := h.r.Get(key, ts)
+		if err != nil {
+			return kv.Cell{}, false, err
+		}
+		if ok {
+			consider(c)
+		}
+	}
+	return best, found, nil
+}
+
+// ScanResult is one user key's visible version in a scan.
+type ScanResult struct {
+	Key   []byte
+	Value []byte
+	Ts    kv.Timestamp
+}
+
+// Scan returns the newest visible (non-deleted) version of every user key in
+// [start, end) at timestamp ts, up to limit results (limit ≤ 0 means
+// unlimited). A nil end means "to the end of the store".
+func (s *Store) Scan(start, end []byte, ts kv.Timestamp, limit int) ([]ScanResult, error) {
+	s.stats.scans.Add(1)
+	mems, tables, release, err := s.components()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	iters := make([]internalIterator, 0, len(mems)+len(tables))
+	for _, m := range mems {
+		iters = append(iters, m.Iterator())
+	}
+	for _, h := range tables {
+		iters = append(iters, h.r.Iterator())
+	}
+	merged := newMergeIterator(iters)
+	merged.Seek(kv.SeekKey(start, ts))
+
+	var out []ScanResult
+	var curUser []byte // user key whose visible version has been decided
+	for merged.Valid() {
+		c := merged.Cell()
+		if end != nil && bytes.Compare(c.Key, end) >= 0 {
+			break
+		}
+		if curUser != nil && bytes.Equal(c.Key, curUser) {
+			merged.Next()
+			continue // older version of an already-decided key
+		}
+		if c.Ts > ts {
+			merged.Next()
+			continue // version newer than the read timestamp: invisible
+		}
+		// First visible version of a new user key decides it.
+		curUser = append(curUser[:0], c.Key...)
+		if !c.Tombstone() {
+			out = append(out, ScanResult{
+				Key:   append([]byte(nil), c.Key...),
+				Value: append([]byte(nil), c.Value...),
+				Ts:    c.Ts,
+			})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		merged.Next()
+	}
+	if err := merged.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the store's operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:        s.stats.puts.Load(),
+		Deletes:     s.stats.deletes.Load(),
+		Gets:        s.stats.gets.Load(),
+		Scans:       s.stats.scans.Load(),
+		Flushes:     s.stats.flushes.Load(),
+		Compactions: s.stats.compactions.Load(),
+	}
+}
+
+// MemtableBytes returns the active memtable's approximate size.
+func (s *Store) MemtableBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.ApproximateBytes()
+}
+
+// TableCount returns the number of live SSTables.
+func (s *Store) TableCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables)
+}
+
+// Close waits for background work and releases every resource. The WAL is
+// retained so a reopened store recovers unflushed data.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	tables := s.tables
+	s.tables = nil
+	s.mu.Unlock()
+
+	s.bg.Wait()
+	for _, h := range tables {
+		h.release() // drop the store's own reference
+	}
+	// Readers that were not dropped by compaction still hold open files;
+	// close them now that no reads can start.
+	for _, h := range tables {
+		if !h.dropped.Load() {
+			h.r.Close()
+		}
+	}
+	return s.log.Close()
+}

@@ -1,0 +1,534 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+func newTestStore(t testing.TB, fs vfs.FS) *Store {
+	t.Helper()
+	s, err := Open(Options{
+		FS:                 fs,
+		Dir:                "store",
+		MemtableBytes:      1 << 20,
+		DisableAutoFlush:   true,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetAcrossFlush(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		if err := s.Put(key, []byte(fmt.Sprintf("v%d", i)), kv.Timestamp(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableCount() != 1 {
+		t.Fatalf("TableCount = %d", s.TableCount())
+	}
+	// Overwrite some keys post-flush.
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		if err := s.Put(key, []byte("new"), kv.Timestamp(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		c, ok, err := s.Get(key, kv.MaxTimestamp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("v%d", i)
+		if i < 50 {
+			want = "new"
+		}
+		if !ok || string(c.Value) != want {
+			t.Errorf("Get(%s) = %q ok=%v, want %q", key, c.Value, ok, want)
+		}
+	}
+}
+
+func TestDeleteAcrossComponents(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	s.Put([]byte("k"), []byte("v1"), 10)
+	s.Flush()
+	s.Delete([]byte("k"), 20)
+	if _, ok, _ := s.Get([]byte("k"), kv.MaxTimestamp); ok {
+		t.Error("deleted key visible (tombstone in memtable, value in sstable)")
+	}
+	if c, ok, _ := s.Get([]byte("k"), 15); !ok || string(c.Value) != "v1" {
+		t.Errorf("time-travel read before delete failed: %+v ok=%v", c, ok)
+	}
+	// Tombstone flushed too.
+	s.Flush()
+	if _, ok, _ := s.Get([]byte("k"), kv.MaxTimestamp); ok {
+		t.Error("deleted key visible after tombstone flush")
+	}
+	if c, ok, _ := s.GetCell([]byte("k"), kv.MaxTimestamp); !ok || !c.Tombstone() {
+		t.Errorf("GetCell must surface the tombstone: %+v ok=%v", c, ok)
+	}
+}
+
+func TestOldTimestampWriteAfterFlush(t *testing.T) {
+	// Diff-Index writes tombstones at t_new−δ, which can be OLDER than
+	// entries already flushed. The newest-timestamp-wins rule must hold
+	// regardless of which component holds which version.
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	s.Put([]byte("idx"), nil, 100)
+	s.Flush()
+	// A late tombstone with an older timestamp arrives in the memtable.
+	s.Delete([]byte("idx"), 50)
+	if _, ok, _ := s.Get([]byte("idx"), kv.MaxTimestamp); !ok {
+		t.Error("older tombstone must not mask a newer flushed put")
+	}
+	if _, ok, _ := s.Get([]byte("idx"), 70); ok {
+		t.Error("read at ts=70 must see the ts=50 tombstone")
+	}
+}
+
+func TestReopenRecoversWAL(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	s.Put([]byte("flushed"), []byte("f"), 1)
+	s.Flush()
+	s.Put([]byte("unflushed"), []byte("u"), 2)
+	s.Delete([]byte("flushed"), 3)
+	s.Close()
+
+	var replayed []kv.Cell
+	s2, err := Open(Options{
+		FS: fs, Dir: "store",
+		DisableAutoFlush: true, DisableAutoCompact: true,
+		OnReplay: func(c kv.Cell) { replayed = append(replayed, c.Clone()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// Only post-flush writes are replayed (earlier segments truncated).
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d cells, want 2: %+v", len(replayed), replayed)
+	}
+	if string(replayed[0].Key) != "unflushed" || replayed[1].Kind != kv.KindDelete {
+		t.Errorf("replayed = %+v", replayed)
+	}
+	if c, ok, _ := s2.Get([]byte("unflushed"), kv.MaxTimestamp); !ok || string(c.Value) != "u" {
+		t.Errorf("unflushed data lost: %+v ok=%v", c, ok)
+	}
+	if _, ok, _ := s2.Get([]byte("flushed"), kv.MaxTimestamp); ok {
+		t.Error("tombstone lost in recovery")
+	}
+}
+
+func TestScan(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	for i := 0; i < 20; i++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i)), kv.Timestamp(i+1))
+	}
+	s.Flush()
+	s.Delete([]byte("k05"), 100)
+	s.Put([]byte("k06"), []byte("updated"), 101)
+
+	res, err := s.Scan([]byte("k03"), []byte("k08"), kv.MaxTimestamp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"k03": "v3", "k04": "v4", "k06": "updated", "k07": "v7"}
+	if len(res) != len(want) {
+		t.Fatalf("Scan returned %d rows: %+v", len(res), res)
+	}
+	for _, r := range res {
+		if want[string(r.Key)] != string(r.Value) {
+			t.Errorf("Scan row %s = %q, want %q", r.Key, r.Value, want[string(r.Key)])
+		}
+	}
+
+	// Limit.
+	res, _ = s.Scan([]byte("k00"), nil, kv.MaxTimestamp, 3)
+	if len(res) != 3 {
+		t.Errorf("limited scan returned %d rows", len(res))
+	}
+	// Timestamp visibility: at ts=5 only k00..k04 exist.
+	res, _ = s.Scan(nil, nil, 5, 0)
+	if len(res) != 5 {
+		t.Errorf("scan at ts=5 returned %d rows, want 5", len(res))
+	}
+	// Empty range.
+	res, _ = s.Scan([]byte("zzz"), nil, kv.MaxTimestamp, 0)
+	if len(res) != 0 {
+		t.Errorf("scan past end returned %d rows", len(res))
+	}
+}
+
+func TestScanSkipsNewerVersionsAndSeesOlder(t *testing.T) {
+	// A key whose newest version is above the read timestamp must still
+	// surface its older visible version.
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	s.Put([]byte("k"), []byte("old"), 10)
+	s.Put([]byte("k"), []byte("new"), 100)
+	res, err := s.Scan(nil, nil, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || string(res[0].Value) != "old" {
+		t.Errorf("scan at ts=50 = %+v, want the ts=10 version", res)
+	}
+}
+
+func TestCompactionMergesAndGCs(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s, err := Open(Options{
+		FS: fs, Dir: "store",
+		MaxVersions:        2,
+		DisableAutoFlush:   true,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 5 versions of one key across 5 tables, plus a deleted key.
+	for v := 1; v <= 5; v++ {
+		s.Put([]byte("multi"), []byte(fmt.Sprintf("v%d", v)), kv.Timestamp(v*10))
+		if v == 3 {
+			s.Put([]byte("dead"), []byte("x"), 31)
+		}
+		if v == 4 {
+			s.Delete([]byte("dead"), 41)
+		}
+		s.Flush()
+	}
+	if s.TableCount() != 5 {
+		t.Fatalf("TableCount = %d", s.TableCount())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableCount() != 1 {
+		t.Fatalf("TableCount after compaction = %d", s.TableCount())
+	}
+	// Newest version survives.
+	if c, ok, _ := s.Get([]byte("multi"), kv.MaxTimestamp); !ok || string(c.Value) != "v5" {
+		t.Errorf("newest version lost: %+v ok=%v", c, ok)
+	}
+	// MaxVersions=2: version at ts 40 survives, ts 30 GCed.
+	if c, ok, _ := s.Get([]byte("multi"), 45); !ok || string(c.Value) != "v4" {
+		t.Errorf("second-newest version lost: %+v ok=%v", c, ok)
+	}
+	if _, ok, _ := s.Get([]byte("multi"), 35); ok {
+		t.Error("GCed version still visible")
+	}
+	// Tombstone and masked data dropped entirely.
+	if _, ok, _ := s.Get([]byte("dead"), kv.MaxTimestamp); ok {
+		t.Error("deleted key visible after compaction")
+	}
+	if c, ok, _ := s.GetCell([]byte("dead"), kv.MaxTimestamp); ok {
+		t.Errorf("tombstone not GCed at major compaction: %+v", c)
+	}
+	// Old table files are deleted once unreferenced.
+	names, _ := fs.List("store/")
+	sstCount := 0
+	for _, n := range names {
+		if _, ok := parseTableNum("store", n); ok {
+			sstCount++
+		}
+	}
+	if sstCount != 1 {
+		t.Errorf("%d .sst files remain after compaction, want 1", sstCount)
+	}
+}
+
+func TestCompactionPreservesNewerFlushes(t *testing.T) {
+	// Tables flushed *during* a compaction must survive installation.
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	s.Put([]byte("a"), []byte("1"), 1)
+	s.Flush()
+	s.Put([]byte("b"), []byte("2"), 2)
+	s.Flush()
+	// Simulate a concurrent flush landing after compaction snapshots:
+	// run Compact, then verify reads still see everything.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put([]byte("c"), []byte("3"), 3)
+	s.Flush()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok, _ := s.Get([]byte(k), kv.MaxTimestamp); !ok {
+			t.Errorf("key %s lost", k)
+		}
+	}
+}
+
+func TestPreFlushHookPausesWrites(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	s.Put([]byte("k"), []byte("v"), 1)
+
+	hookRunning := make(chan struct{})
+	releaseHook := make(chan struct{})
+	s.RegisterPreFlush(func() {
+		close(hookRunning)
+		<-releaseHook
+	})
+
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- s.Flush() }()
+	<-hookRunning
+
+	// A write issued while the hook runs must block until the hook returns.
+	putDone := make(chan struct{})
+	go func() {
+		s.Put([]byte("k2"), []byte("v2"), 2)
+		close(putDone)
+	}()
+	select {
+	case <-putDone:
+		t.Fatal("Put completed while pre-flush hook held the write gate")
+	default:
+	}
+	close(releaseHook)
+	<-putDone
+	if err := <-flushDone; err != nil {
+		t.Fatal(err)
+	}
+	// The paused put must have landed in the NEW memtable, not the flushed one.
+	if c, ok, _ := s.Get([]byte("k2"), kv.MaxTimestamp); !ok || string(c.Value) != "v2" {
+		t.Errorf("paused put lost: %+v ok=%v", c, ok)
+	}
+}
+
+func TestFlushEmptyMemtableIsNoop(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableCount() != 0 {
+		t.Error("empty flush produced a table")
+	}
+}
+
+func TestAutoFlushAndCompact(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s, err := Open(Options{
+		FS: fs, Dir: "store",
+		MemtableBytes:       8 << 10,
+		CompactionThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 256)
+	for i := 0; i < 400; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%06d", i)), val, kv.Timestamp(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil { // push out the tail
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Flushes == 0 {
+		t.Error("auto flush never triggered")
+	}
+	for i := 0; i < 400; i++ {
+		if _, ok, _ := s.Get([]byte(fmt.Sprintf("k%06d", i)), kv.MaxTimestamp); !ok {
+			t.Fatalf("key %d lost across auto flush/compact", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	s.Close()
+	if err := s.Put([]byte("k"), []byte("v"), 1); err != ErrClosed {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, _, err := s.Get([]byte("k"), 1); err != ErrClosed {
+		t.Errorf("Get after close: %v", err)
+	}
+	if _, err := s.Scan(nil, nil, 1, 0); err != ErrClosed {
+		t.Errorf("Scan after close: %v", err)
+	}
+	if err := s.Flush(); err != ErrClosed {
+		t.Errorf("Flush after close: %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close: %v", err)
+	}
+	if err := s.Close(); err != ErrClosed {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+// TestModelEquivalence drives the store and an in-memory model with random
+// operations including flushes and compactions, then compares reads.
+func TestModelEquivalence(t *testing.T) {
+	type version struct {
+		ts  kv.Timestamp
+		val string
+		del bool
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := vfs.NewMemFS()
+		s := newTestStore(t, fs)
+		defer s.Close()
+		model := map[string][]version{}
+		keys := []string{"a", "bb", "ccc", "dddd", "e"}
+		ts := kv.Timestamp(0)
+		for op := 0; op < 300; op++ {
+			k := keys[rng.Intn(len(keys))]
+			ts++
+			switch rng.Intn(10) {
+			case 0:
+				s.Delete([]byte(k), ts)
+				model[k] = append(model[k], version{ts: ts, del: true})
+			case 1:
+				if err := s.Flush(); err != nil {
+					return false
+				}
+			default:
+				v := fmt.Sprintf("%s-%d", k, ts)
+				s.Put([]byte(k), []byte(v), ts)
+				model[k] = append(model[k], version{ts: ts, val: v})
+			}
+		}
+		// Compare latest-visible reads (compaction-safe: no time travel
+		// beyond MaxVersions).
+		for _, k := range keys {
+			var best *version
+			for i := range model[k] {
+				v := &model[k][i]
+				if best == nil || v.ts > best.ts {
+					best = v
+				}
+			}
+			c, ok, err := s.Get([]byte(k), kv.MaxTimestamp)
+			if err != nil {
+				return false
+			}
+			if best == nil || best.del {
+				if ok {
+					return false
+				}
+			} else if !ok || string(c.Value) != best.val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s, err := Open(Options{
+		FS: fs, Dir: "store",
+		MemtableBytes:       16 << 10,
+		CompactionThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, per = 4, 500
+	ts := kv.NewClock(1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				if err := s.Put(key, bytes.Repeat([]byte("v"), 64), ts.Next()); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if _, _, err := s.Get(key, kv.MaxTimestamp); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent scanner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := s.Scan(nil, nil, kv.MaxTimestamp, 100); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		for _, i := range []int{0, per - 1} {
+			key := []byte(fmt.Sprintf("w%d-%04d", w, i))
+			if _, ok, _ := s.Get(key, kv.MaxTimestamp); !ok {
+				t.Errorf("key %s lost", key)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTableNum(t *testing.T) {
+	if n, ok := parseTableNum("d", "d/00000000000000000007.sst"); !ok || n != 7 {
+		t.Errorf("got (%d, %v)", n, ok)
+	}
+	for _, bad := range []string{"d/wal/1.sst", "d/x.sst", "e/1.sst", "d/1.wal"} {
+		if _, ok := parseTableNum("d", bad); ok {
+			t.Errorf("parseTableNum(%q) unexpectedly ok", bad)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package memtable implements the in-memory component of the LSM tree: the
+// paper's mem-store (§2.1), HBase's MemTable (§2.2). Writes append versioned
+// cells to a concurrent skip list; at capacity the LSM store flushes the
+// memtable's contents to an immutable SSTable. The skip list follows the
+// LevelDB design: writers are serialized by a mutex, readers traverse atomic
+// pointers without locking, and nodes are never unlinked (the memtable is
+// discarded wholesale after flush).
+package memtable
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"diffindex/internal/kv"
+)
+
+const maxHeight = 16
+
+type node struct {
+	ikey  []byte // internal key: userKey · ^ts · kind
+	value atomic.Pointer[[]byte]
+	next  []atomic.Pointer[node]
+}
+
+func newNode(ikey, value []byte, height int) *node {
+	n := &node{ikey: ikey, next: make([]atomic.Pointer[node], height)}
+	n.value.Store(&value)
+	return n
+}
+
+// skiplist is an ordered map from internal key to value.
+type skiplist struct {
+	head   *node
+	mu     sync.Mutex // serializes writers; readers are lock-free
+	height atomic.Int32
+	rng    *rand.Rand
+	bytes  atomic.Int64
+	count  atomic.Int64
+}
+
+func newSkiplist() *skiplist {
+	s := &skiplist{
+		head: newNode(nil, nil, maxHeight),
+		rng:  rand.New(rand.NewSource(0x5EED)),
+	}
+	s.height.Store(1)
+	return s
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with ikey ≥ key, filling prev
+// (when non-nil) with the predecessor at every level.
+func (s *skiplist) findGreaterOrEqual(key []byte, prev []*node) *node {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && kv.CompareInternal(next.ikey, key) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// set inserts or overwrites the value for an internal key. Overwriting
+// happens when the same (userKey, ts, kind) is written twice, which LSM
+// semantics define as idempotent (§5.3: replayed puts reuse timestamps).
+func (s *skiplist) set(ikey, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	prev := make([]*node, maxHeight)
+	if found := s.findGreaterOrEqual(ikey, prev); found != nil && kv.CompareInternal(found.ikey, ikey) == 0 {
+		old := found.value.Load()
+		found.value.Store(&value)
+		s.bytes.Add(int64(len(value)) - int64(len(*old)))
+		return
+	}
+
+	height := s.randomHeight()
+	if cur := int(s.height.Load()); height > cur {
+		for i := cur; i < height; i++ {
+			prev[i] = s.head
+		}
+		s.height.Store(int32(height))
+	}
+	n := newNode(ikey, value, height)
+	for i := 0; i < height; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	s.bytes.Add(int64(len(ikey)+len(value)) + 64) // 64 ≈ per-node overhead
+	s.count.Add(1)
+}
+
+// get returns the value stored under the exact internal key.
+func (s *skiplist) get(ikey []byte) ([]byte, bool) {
+	n := s.findGreaterOrEqual(ikey, nil)
+	if n != nil && kv.CompareInternal(n.ikey, ikey) == 0 {
+		return *n.value.Load(), true
+	}
+	return nil, false
+}
+
+// iterator walks the skip list in internal-key order. It is safe to use
+// concurrently with writers: it observes a superset of the entries present
+// when it was created.
+type iterator struct {
+	list *skiplist
+	n    *node
+}
+
+func (it *iterator) valid() bool { return it.n != nil }
+
+func (it *iterator) seekToFirst() { it.n = it.list.head.next[0].Load() }
+
+func (it *iterator) seek(ikey []byte) { it.n = it.list.findGreaterOrEqual(ikey, nil) }
+
+func (it *iterator) next() { it.n = it.n.next[0].Load() }
+
+func (it *iterator) key() []byte { return it.n.ikey }
+
+func (it *iterator) val() []byte { return *it.n.value.Load() }

@@ -1,0 +1,282 @@
+// Package metrics provides the measurement primitives used by the experiment
+// harness: lock-free log-bucketed latency histograms (HdrHistogram-style),
+// atomic counters, and percentile reports. The paper reports mean latency vs
+// throughput curves (Figs. 7, 8, 10), selectivity sweeps (Fig. 9), and a
+// staleness distribution (Fig. 11); all of them are built from Histogram.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram records int64 samples (typically nanoseconds) in logarithmic
+// buckets: 64 major buckets (one per power of two) each split into 16 linear
+// sub-buckets, giving ≤6.25% relative error per sample. Recording is
+// lock-free and safe for concurrent use.
+type Histogram struct {
+	counts [64 * subBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64
+}
+
+const subBuckets = 16
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// Major bucket: position of the highest set bit; sub-bucket: the next
+	// log2(subBuckets) bits below it.
+	high := 63 - bits.LeadingZeros64(uint64(v))
+	shift := high - 4 // 4 = log2(subBuckets)
+	sub := int(v>>uint(shift)) & (subBuckets - 1)
+	return (high-3)*subBuckets + sub
+}
+
+// bucketUpper returns a representative (upper-bound) value for bucket i.
+func bucketUpper(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	major := i/subBuckets + 3
+	sub := i % subBuckets
+	base := int64(1) << uint(major)
+	return base + int64(sub+1)<<uint(major-4) - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds one sample measured as a time.Duration (in ns).
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the arithmetic mean of the samples, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1).
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			u := bucketUpper(i)
+			if m := h.max.Load(); u > m {
+				return m
+			}
+			return u
+		}
+	}
+	return h.max.Load()
+}
+
+// Merge adds other's samples into h. Min/max merge exactly; bucket counts
+// merge exactly; the result is equivalent to recording both sample streams.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range h.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	if other.total.Load() > 0 {
+		om := other.max.Load()
+		for {
+			cur := h.max.Load()
+			if om <= cur || h.max.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+		omin := other.min.Load()
+		for {
+			cur := h.min.Load()
+			if omin >= cur || h.min.CompareAndSwap(cur, omin) {
+				break
+			}
+		}
+	}
+}
+
+// Snapshot captures the summary statistics of a histogram at one instant.
+type Snapshot struct {
+	Count         int64
+	Mean          float64
+	Min, Max      int64
+	P50, P95, P99 int64
+	P999          int64
+}
+
+// Snapshot returns the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// String renders the snapshot with duration formatting, assuming samples are
+// nanoseconds.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, time.Duration(int64(s.Mean)), time.Duration(s.P50),
+		time.Duration(s.P95), time.Duration(s.P99), time.Duration(s.Max))
+}
+
+// Counter is a cumulative atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Meter measures throughput: operations counted over a wall-clock window.
+type Meter struct {
+	ops   Counter
+	start time.Time
+}
+
+// NewMeter returns a meter whose window starts now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n completed operations.
+func (m *Meter) Mark(n int64) { m.ops.Add(n) }
+
+// Rate returns operations per second since the meter was created.
+func (m *Meter) Rate() float64 {
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.ops.Load()) / elapsed
+}
+
+// Ops returns the total operations marked.
+func (m *Meter) Ops() int64 { return m.ops.Load() }
+
+// FormatTable renders rows as a fixed-width text table: the printer used by
+// the experiment harness to emit the paper's tables and figure series.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

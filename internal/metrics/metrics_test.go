@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	for _, v := range []int64{10, 20, 30, 40, 50} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30 {
+		t.Errorf("Mean = %f", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Error("negative samples must clamp to 0")
+	}
+}
+
+// TestQuantileAccuracy checks the ≤6.25% relative error bound of the
+// log-bucketed layout against exact quantiles of random data.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	samples := make([]int64, 20000)
+	for i := range samples {
+		v := int64(rng.ExpFloat64() * 1e6)
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%.2f: estimate %d below exact %d (must be upper bound)", q, got, exact)
+		}
+		if exact > 100 && float64(got) > float64(exact)*1.15 {
+			t.Errorf("q=%.2f: estimate %d too far above exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q<0 must clamp")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 must clamp")
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Error("q=1 must not exceed max")
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return bucketIndex(a) <= bucketIndex(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketUpperBounds(t *testing.T) {
+	for _, v := range []int64{0, 1, 15, 16, 17, 100, 1023, 1024, 1 << 20, math.MaxInt64 / 2} {
+		i := bucketIndex(v)
+		if u := bucketUpper(i); u < v {
+			t.Errorf("bucketUpper(%d)=%d below sample %d", i, u, v)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(101); i <= 200; i++ {
+		b.Record(i)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Errorf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	if got := a.Mean(); math.Abs(got-100.5) > 0.01 {
+		t.Errorf("merged mean = %f", got)
+	}
+	a.Merge(nil) // must not panic
+	empty := NewHistogram()
+	empty.Merge(NewHistogram())
+	if empty.Count() != 0 {
+		t.Error("merging empties must stay empty")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.P50 < int64(3*time.Millisecond) {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("Load = %d", c.Load())
+	}
+	if c.Reset() != 5 || c.Load() != 0 {
+		t.Error("Reset must return prior value and zero the counter")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Mark(10)
+	if m.Ops() != 10 {
+		t.Errorf("Ops = %d", m.Ops())
+	}
+	if m.Rate() <= 0 {
+		t.Error("Rate must be positive after marks")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(
+		[]string{"scheme", "latency"},
+		[][]string{{"sync-full", "5x"}, {"async", "1x"}},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "scheme") || !strings.Contains(lines[2], "sync-full") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

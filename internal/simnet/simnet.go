@@ -1,0 +1,125 @@
+// Package simnet simulates the cluster network. Every client↔server and
+// server↔server interaction is an RPC that pays a configurable round-trip
+// latency, and node pairs can be partitioned to inject failures. This stands
+// in for the real 10-machine (and 42-VM, §8.1) cluster network: the paper's
+// global index is more expensive to update than a local one precisely
+// because index regions are usually remote (§3.1), and that cost shows up
+// here as simnet latency on every index-table operation.
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPartitioned is returned when a call crosses an active network partition.
+var ErrPartitioned = errors.New("simnet: network partition between nodes")
+
+// Config sets the latency model.
+type Config struct {
+	// RTT is the round-trip time charged per call (half before the call
+	// executes, half before the response returns).
+	RTT time.Duration
+	// Jitter, if non-zero, adds a uniform random duration in [0, Jitter) to
+	// each direction.
+	Jitter time.Duration
+}
+
+// Network connects named nodes with simulated latency and partitions.
+type Network struct {
+	cfg Config
+
+	mu         sync.RWMutex
+	partitions map[[2]string]bool
+	rng        *rand.Rand
+
+	calls atomic.Int64
+	// sleep is replaceable for tests.
+	sleep func(time.Duration)
+}
+
+// New returns a network with the given latency model.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:        cfg,
+		partitions: make(map[[2]string]bool),
+		rng:        rand.New(rand.NewSource(0xD1F)),
+		sleep:      time.Sleep,
+	}
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (n *Network) oneWay() time.Duration {
+	d := n.cfg.RTT / 2
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+// Call executes fn as an RPC from node `from` to node `to`, charging latency
+// in both directions. Local calls (from == to) are free, matching collocated
+// access. If the pair is partitioned the call fails without executing fn.
+func (n *Network) Call(from, to string, fn func() error) error {
+	n.calls.Add(1)
+	if from == to {
+		return fn()
+	}
+	n.mu.RLock()
+	cut := n.partitions[pairKey(from, to)]
+	n.mu.RUnlock()
+	if cut {
+		return ErrPartitioned
+	}
+	if d := n.oneWay(); d > 0 {
+		n.sleep(d)
+	}
+	err := fn()
+	// The response also checks the partition state: a partition that forms
+	// mid-call loses the response, like a real network.
+	n.mu.RLock()
+	cut = n.partitions[pairKey(from, to)]
+	n.mu.RUnlock()
+	if cut {
+		return ErrPartitioned
+	}
+	if d := n.oneWay(); d > 0 {
+		n.sleep(d)
+	}
+	return err
+}
+
+// Partition cuts connectivity between two nodes until Heal or HealAll.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = true
+}
+
+// Heal restores connectivity between two nodes.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[[2]string]bool)
+}
+
+// Calls returns the cumulative RPC count (including local calls).
+func (n *Network) Calls() int64 { return n.calls.Load() }

@@ -1,0 +1,147 @@
+// Package sstable implements the immutable on-disk LSM component: the
+// paper's disk stores C1, C2, … (§2.1), HBase's HTable/HFile (§2.2). A table
+// is a sorted run of internal-key/value entries laid out in fixed-target-size
+// data blocks, followed by a Bloom filter over user keys, a block index, and
+// a fixed-size footer:
+//
+//	[data block]* [filter block] [index block] [footer]
+//
+// Point reads consult the Bloom filter, binary-search the in-memory block
+// index, and read a single data block through the VFS — which is where the
+// simulated disk latency is charged, making LSM reads pay random-I/O cost
+// while writes remain sequential (§2.1's asymmetry).
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TargetBlockSize is the uncompressed size at which a data block is cut.
+// 4 KiB mirrors typical HFile/LevelDB block sizing.
+const TargetBlockSize = 4 * 1024
+
+const (
+	footerLen = 48
+	magic     = 0xD1FF1DE0CAFEB10C
+)
+
+var (
+	// ErrBadTable is returned when a table file fails structural checks.
+	ErrBadTable = errors.New("sstable: malformed table")
+)
+
+type footer struct {
+	filterOff, filterLen uint64
+	indexOff, indexLen   uint64
+	entryCount           uint64
+}
+
+func (f footer) marshal() []byte {
+	out := make([]byte, footerLen)
+	binary.LittleEndian.PutUint64(out[0:], f.filterOff)
+	binary.LittleEndian.PutUint64(out[8:], f.filterLen)
+	binary.LittleEndian.PutUint64(out[16:], f.indexOff)
+	binary.LittleEndian.PutUint64(out[24:], f.indexLen)
+	binary.LittleEndian.PutUint64(out[32:], f.entryCount)
+	binary.LittleEndian.PutUint64(out[40:], magic)
+	return out
+}
+
+func unmarshalFooter(b []byte) (footer, error) {
+	var f footer
+	if len(b) != footerLen {
+		return f, fmt.Errorf("%w: footer length %d", ErrBadTable, len(b))
+	}
+	if binary.LittleEndian.Uint64(b[40:]) != magic {
+		return f, fmt.Errorf("%w: bad magic", ErrBadTable)
+	}
+	f.filterOff = binary.LittleEndian.Uint64(b[0:])
+	f.filterLen = binary.LittleEndian.Uint64(b[8:])
+	f.indexOff = binary.LittleEndian.Uint64(b[16:])
+	f.indexLen = binary.LittleEndian.Uint64(b[24:])
+	f.entryCount = binary.LittleEndian.Uint64(b[32:])
+	return f, nil
+}
+
+// blockHandle locates one data block within the file.
+type blockHandle struct {
+	offset, length uint64
+}
+
+// indexEntry maps a data block to the largest internal key it contains.
+type indexEntry struct {
+	lastKey []byte
+	handle  blockHandle
+}
+
+func marshalIndex(entries []indexEntry) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		out = binary.AppendUvarint(out, uint64(len(e.lastKey)))
+		out = append(out, e.lastKey...)
+		out = binary.AppendUvarint(out, e.handle.offset)
+		out = binary.AppendUvarint(out, e.handle.length)
+	}
+	return out
+}
+
+func unmarshalIndex(b []byte) ([]indexEntry, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: index count", ErrBadTable)
+	}
+	b = b[sz:]
+	entries := make([]indexEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		klen, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b[sz:])) < klen {
+			return nil, fmt.Errorf("%w: index key", ErrBadTable)
+		}
+		b = b[sz:]
+		key := append([]byte(nil), b[:klen]...)
+		b = b[klen:]
+		off, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: index offset", ErrBadTable)
+		}
+		b = b[sz:]
+		length, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: index length", ErrBadTable)
+		}
+		b = b[sz:]
+		entries = append(entries, indexEntry{lastKey: key, handle: blockHandle{off, length}})
+	}
+	return entries, nil
+}
+
+// appendBlockEntry appends one key/value entry to a data block.
+func appendBlockEntry(dst, ikey, value []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ikey)))
+	dst = binary.AppendUvarint(dst, uint64(len(value)))
+	dst = append(dst, ikey...)
+	return append(dst, value...)
+}
+
+// blockEntry decodes the entry at b, returning the key, value and the number
+// of bytes consumed (0 when b is exhausted or malformed).
+func blockEntry(b []byte) (ikey, value []byte, n int) {
+	klen, s1 := binary.Uvarint(b)
+	if s1 <= 0 {
+		return nil, nil, 0
+	}
+	vlen, s2 := binary.Uvarint(b[s1:])
+	if s2 <= 0 {
+		return nil, nil, 0
+	}
+	head := s1 + s2
+	if uint64(len(b[head:])) < klen+vlen {
+		return nil, nil, 0
+	}
+	ikey = b[head : head+int(klen)]
+	value = b[head+int(klen) : head+int(klen)+int(vlen)]
+	return ikey, value, head + int(klen) + int(vlen)
+}

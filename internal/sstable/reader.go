@@ -1,0 +1,305 @@
+package sstable
+
+import (
+	"fmt"
+	"sort"
+
+	"diffindex/internal/bloom"
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+// Reader serves point lookups and scans from one immutable table file. The
+// block index and Bloom filter are held in memory (as HBase keeps HFile
+// indexes and Blooms in the region server heap); data blocks are read
+// through the VFS on demand and optionally cached in a shared BlockCache.
+type Reader struct {
+	f     vfs.File
+	name  string
+	cache *BlockCache
+
+	index  []indexEntry
+	filter *bloom.Filter
+
+	largest []byte // largest user key, from the index block
+	count   uint64
+	size    int64
+}
+
+// Open opens a finished table file. cache may be nil to disable block
+// caching.
+func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: open %s: %w", name, err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size < footerLen {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrBadTable, name, size)
+	}
+	buf := make([]byte, footerLen)
+	if _, err := f.ReadAt(buf, size-footerLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sstable: read footer of %s: %w", name, err)
+	}
+	ftr, err := unmarshalFooter(buf)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+
+	idxBuf := make([]byte, ftr.indexLen)
+	if _, err := f.ReadAt(idxBuf, int64(ftr.indexOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sstable: read index of %s: %w", name, err)
+	}
+	index, err := unmarshalIndex(idxBuf)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+
+	var filter *bloom.Filter
+	if ftr.filterLen > 0 {
+		fltBuf := make([]byte, ftr.filterLen)
+		if _, err := f.ReadAt(fltBuf, int64(ftr.filterOff)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sstable: read filter of %s: %w", name, err)
+		}
+		if filter, err = bloom.Unmarshal(fltBuf); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+
+	r := &Reader{
+		f:      f,
+		name:   name,
+		cache:  cache,
+		index:  index,
+		filter: filter,
+		count:  ftr.entryCount,
+		size:   size,
+	}
+	if len(index) > 0 {
+		// Recover user-key bounds from the index: the first block's first
+		// key requires a block read, so derive bounds lazily from the last
+		// keys instead; smallest is loaded from block 0 on first use.
+		r.largest = append([]byte(nil), kv.InternalUserKey(index[len(index)-1].lastKey)...)
+	}
+	return r, nil
+}
+
+// Name returns the file name the reader was opened from.
+func (r *Reader) Name() string { return r.name }
+
+// EntryCount returns the number of entries in the table.
+func (r *Reader) EntryCount() uint64 { return r.count }
+
+// Size returns the file size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// LargestUserKey returns the largest user key in the table (nil for an empty
+// table).
+func (r *Reader) LargestUserKey() []byte { return r.largest }
+
+// Close releases the underlying file handle.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// block fetches the idx-th data block, via the cache when possible.
+func (r *Reader) block(i int) ([]byte, error) {
+	h := r.index[i].handle
+	if b := r.cache.Get(r.name, h.offset); b != nil {
+		return b, nil
+	}
+	buf := make([]byte, h.length)
+	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, fmt.Errorf("sstable: read block %d of %s: %w", i, r.name, err)
+	}
+	r.cache.Put(r.name, h.offset, buf)
+	return buf, nil
+}
+
+// seekBlock returns the position of the first block whose last key is ≥ ikey
+// (i.e. the only block that can contain ikey), or len(index) when ikey is
+// past the table's end.
+func (r *Reader) seekBlock(ikey []byte) int {
+	return sort.Search(len(r.index), func(i int) bool {
+		return kv.CompareInternal(r.index[i].lastKey, ikey) >= 0
+	})
+}
+
+// Get returns the newest version of userKey with timestamp ≤ ts stored in
+// this table. The returned cell may be a tombstone. The bool reports whether
+// any visible version exists here.
+func (r *Reader) Get(userKey []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
+	if !r.filter.MayContain(userKey) {
+		return kv.Cell{}, false, nil
+	}
+	seek := kv.SeekKey(userKey, ts)
+	bi := r.seekBlock(seek)
+	if bi >= len(r.index) {
+		return kv.Cell{}, false, nil
+	}
+	blk, err := r.block(bi)
+	if err != nil {
+		return kv.Cell{}, false, err
+	}
+	for off := 0; off < len(blk); {
+		ikey, val, n := blockEntry(blk[off:])
+		if n == 0 {
+			return kv.Cell{}, false, fmt.Errorf("%w: %s block %d", ErrBadTable, r.name, bi)
+		}
+		off += n
+		if kv.CompareInternal(ikey, seek) < 0 {
+			continue
+		}
+		uk, vts, kind, err := kv.ParseInternalKey(ikey)
+		if err != nil {
+			return kv.Cell{}, false, err
+		}
+		if string(uk) != string(userKey) {
+			return kv.Cell{}, false, nil
+		}
+		return kv.Cell{Key: uk, Value: val, Ts: vts, Kind: kind}, true, nil
+	}
+	// seek key may fall past this block's last entry only if the index is
+	// inconsistent; treat as not found.
+	return kv.Cell{}, false, nil
+}
+
+// Iterator returns a cursor over the whole table in internal-key order.
+func (r *Reader) Iterator() *Iterator {
+	return &Iterator{r: r, blockIdx: -1}
+}
+
+// Iterator walks a table's entries in internal-key order. Errors encountered
+// while reading blocks are surfaced via Err and end the iteration.
+type Iterator struct {
+	r        *Reader
+	blockIdx int
+	blk      []byte
+	off      int
+
+	ikey, value []byte
+	valid       bool
+	err         error
+}
+
+// SeekToFirst positions at the table's first entry.
+func (it *Iterator) SeekToFirst() {
+	it.blockIdx = -1
+	it.nextBlock()
+}
+
+// Seek positions at the first entry with internal key ≥ ikey.
+func (it *Iterator) Seek(seek []byte) {
+	it.valid = false
+	it.err = nil
+	bi := it.r.seekBlock(seek)
+	if bi >= len(it.r.index) {
+		return
+	}
+	it.blockIdx = bi
+	if !it.loadBlock() {
+		return
+	}
+	for {
+		for it.off < len(it.blk) {
+			ikey, val, n := blockEntry(it.blk[it.off:])
+			if n == 0 {
+				it.fail(fmt.Errorf("%w: %s block %d", ErrBadTable, it.r.name, it.blockIdx))
+				return
+			}
+			it.off += n
+			if kv.CompareInternal(ikey, seek) >= 0 {
+				it.ikey, it.value, it.valid = ikey, val, true
+				return
+			}
+		}
+		if !it.advanceBlock() {
+			return
+		}
+	}
+}
+
+func (it *Iterator) fail(err error) {
+	it.err = err
+	it.valid = false
+}
+
+func (it *Iterator) loadBlock() bool {
+	blk, err := it.r.block(it.blockIdx)
+	if err != nil {
+		it.fail(err)
+		return false
+	}
+	it.blk, it.off = blk, 0
+	return true
+}
+
+func (it *Iterator) advanceBlock() bool {
+	it.blockIdx++
+	if it.blockIdx >= len(it.r.index) {
+		it.valid = false
+		return false
+	}
+	return it.loadBlock()
+}
+
+func (it *Iterator) nextBlock() {
+	if !it.advanceBlock() {
+		return
+	}
+	it.stepEntry()
+}
+
+func (it *Iterator) stepEntry() {
+	for {
+		if it.off < len(it.blk) {
+			ikey, val, n := blockEntry(it.blk[it.off:])
+			if n == 0 {
+				it.fail(fmt.Errorf("%w: %s block %d", ErrBadTable, it.r.name, it.blockIdx))
+				return
+			}
+			it.off += n
+			it.ikey, it.value, it.valid = ikey, val, true
+			return
+		}
+		if !it.advanceBlock() {
+			return
+		}
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	it.stepEntry()
+}
+
+// InternalKey returns the current internal key. Valid until the next call
+// that advances the iterator past a block boundary.
+func (it *Iterator) InternalKey() []byte { return it.ikey }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Cell decodes the current entry.
+func (it *Iterator) Cell() kv.Cell {
+	uk, ts, kind, _ := kv.ParseInternalKey(it.ikey)
+	return kv.Cell{Key: uk, Value: it.value, Ts: ts, Kind: kind}
+}
+
+// Err returns the first error encountered during iteration, if any.
+func (it *Iterator) Err() error { return it.err }

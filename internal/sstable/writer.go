@@ -1,0 +1,133 @@
+package sstable
+
+import (
+	"fmt"
+
+	"diffindex/internal/bloom"
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+// Writer builds an SSTable from entries added in ascending internal-key
+// order (flushes iterate the memtable in order; compactions merge sorted
+// runs, so both producers satisfy this naturally).
+type Writer struct {
+	f    vfs.File
+	name string
+
+	block    []byte
+	blockOff uint64
+	index    []indexEntry
+	lastKey  []byte
+
+	userKeys [][]byte // distinct user keys, for the Bloom filter
+	lastUser []byte
+
+	smallest, largest []byte // user-key bounds
+	count             uint64
+	finished          bool
+}
+
+// NewWriter creates the named table file and returns a writer for it.
+func NewWriter(fs vfs.FS, name string) (*Writer, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: create %s: %w", name, err)
+	}
+	return &Writer{f: f, name: name}, nil
+}
+
+// Add appends one entry. Entries must arrive in strictly ascending internal
+// key order.
+func (w *Writer) Add(ikey, value []byte) error {
+	if w.finished {
+		return fmt.Errorf("sstable: writer for %s already finished", w.name)
+	}
+	if w.lastKey != nil && kv.CompareInternal(ikey, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: out-of-order key %x after %x", ikey, w.lastKey)
+	}
+	w.lastKey = append(w.lastKey[:0], ikey...)
+
+	user := kv.InternalUserKey(ikey)
+	if w.lastUser == nil || string(user) != string(w.lastUser) {
+		w.userKeys = append(w.userKeys, append([]byte(nil), user...))
+		w.lastUser = append(w.lastUser[:0], user...)
+	}
+	if w.smallest == nil {
+		w.smallest = append([]byte(nil), user...)
+	}
+	w.largest = append(w.largest[:0], user...)
+	w.count++
+
+	w.block = appendBlockEntry(w.block, ikey, value)
+	if len(w.block) >= TargetBlockSize {
+		return w.cutBlock()
+	}
+	return nil
+}
+
+func (w *Writer) cutBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.block)
+	if err != nil {
+		return fmt.Errorf("sstable: write block: %w", err)
+	}
+	w.index = append(w.index, indexEntry{
+		lastKey: append([]byte(nil), w.lastKey...),
+		handle:  blockHandle{offset: w.blockOff, length: uint64(n)},
+	})
+	w.blockOff += uint64(n)
+	w.block = w.block[:0]
+	return nil
+}
+
+// Finish flushes the remaining block, writes the filter, index and footer,
+// syncs, and closes the file. The writer cannot be reused.
+func (w *Writer) Finish() error {
+	if w.finished {
+		return fmt.Errorf("sstable: writer for %s already finished", w.name)
+	}
+	w.finished = true
+	if err := w.cutBlock(); err != nil {
+		return err
+	}
+
+	var ftr footer
+	ftr.entryCount = w.count
+
+	filter := bloom.New(w.userKeys, bloom.BitsPerKey).Marshal()
+	ftr.filterOff = w.blockOff
+	ftr.filterLen = uint64(len(filter))
+	if _, err := w.f.Write(filter); err != nil {
+		return fmt.Errorf("sstable: write filter: %w", err)
+	}
+	w.blockOff += uint64(len(filter))
+
+	idx := marshalIndex(w.index)
+	ftr.indexOff = w.blockOff
+	ftr.indexLen = uint64(len(idx))
+	if _, err := w.f.Write(idx); err != nil {
+		return fmt.Errorf("sstable: write index: %w", err)
+	}
+	w.blockOff += uint64(len(idx))
+
+	if _, err := w.f.Write(ftr.marshal()); err != nil {
+		return fmt.Errorf("sstable: write footer: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("sstable: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Abandon closes the underlying file without finishing the table. The caller
+// is responsible for removing the partial file.
+func (w *Writer) Abandon() error {
+	w.finished = true
+	return w.f.Close()
+}
+
+// Count returns the number of entries added so far.
+func (w *Writer) Count() uint64 { return w.count }

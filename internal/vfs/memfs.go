@@ -1,0 +1,166 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS. It is safe for concurrent use and supports many
+// concurrent handles to the same file (readers see data as soon as it is
+// written, matching the HDFS visibility the paper's WAL recovery relies on).
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string]*memData
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memData)}
+}
+
+type memData struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+	}
+	d := &memData{}
+	fs.files[name] = d
+	return &memFile{d: d}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+	}
+	return &memFile{d: d}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("remove %q: %w", name, ErrNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldName, newName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[oldName]
+	if !ok {
+		return fmt.Errorf("rename %q: %w", oldName, ErrNotExist)
+	}
+	delete(fs.files, oldName)
+	fs.files[newName] = d
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List(prefix string) ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Exists implements FS.
+func (fs *MemFS) Exists(name string) (bool, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok, nil
+}
+
+type memFile struct {
+	d      *memData
+	closed bool
+	mu     sync.Mutex // guards closed
+}
+
+func (f *memFile) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Write appends p to the file.
+func (f *memFile) Write(p []byte) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	f.d.mu.Lock()
+	f.d.data = append(f.d.data, p...)
+	f.d.mu.Unlock()
+	return len(p), nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Sync is a no-op for MemFS.
+func (f *memFile) Sync() error { return f.checkOpen() }
+
+// Size returns the file length.
+func (f *memFile) Size() (int64, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	return int64(len(f.d.data)), nil
+}
+
+// Close marks the handle closed. The underlying data stays in the FS.
+func (f *memFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package vfs abstracts the file system under the storage engine. The
+// reproduction never touches a real disk: MemFS provides an in-memory file
+// system, and LatencyFS wraps any FS to inject configurable I/O latency so
+// that SSTable block reads pay a simulated disk-seek cost while memtable and
+// block-cache accesses stay memory-speed. This reproduces the property the
+// paper's design hinges on: in LSM "a read is many times slower than a
+// write" (§1), because writes are appends and reads are random I/O.
+//
+// It stands in for HDFS in the paper's deployment (DESIGN.md, substitution
+// S1): durable, append-visible storage for WAL segments and SSTables.
+package vfs
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotExist is returned when opening or removing a file that does not exist.
+var ErrNotExist = errors.New("vfs: file does not exist")
+
+// ErrExist is returned when creating a file that already exists.
+var ErrExist = errors.New("vfs: file already exists")
+
+// ErrClosed is returned by operations on a closed file.
+var ErrClosed = errors.New("vfs: file is closed")
+
+// File is a handle to a stored file. Writes are sequential appends (the only
+// write pattern LSM stores need); reads are positional.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync makes previously written data durable. On MemFS it is a no-op
+	// (plus injected latency under LatencyFS); it exists so the WAL's
+	// durability points are explicit in the code.
+	Sync() error
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+}
+
+// FS is a flat-namespace file system.
+type FS interface {
+	// Create creates a new empty file open for appending. It fails with
+	// ErrExist if the name is taken.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading and appending.
+	Open(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically renames a file, replacing any existing target.
+	Rename(oldName, newName string) error
+	// List returns the names of all files with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Exists reports whether the named file exists.
+	Exists(name string) (bool, error)
+}

@@ -1,0 +1,128 @@
+// Package workload reproduces the paper's benchmark driver: YCSB (§8.1)
+// extended with an item table of 10 columns (~1 KB rows) whose item_title
+// and item_price columns are indexed. It provides the YCSB key-choosers
+// (zipfian with Gray's algorithm, uniform, latest), a loader, and a
+// closed-loop multi-threaded runner with optional throughput throttling,
+// measuring per-operation latency histograms.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generator chooses item ordinals in [0, n) under some popularity
+// distribution. Generators are NOT safe for concurrent use; give each
+// worker thread its own.
+type Generator interface {
+	Next() int64
+}
+
+// NewGenerator builds a generator by distribution name: "uniform",
+// "zipfian" (YCSB's default: SCRAMBLED zipfian with constant 0.99, so the
+// hot set is spread across the whole key space rather than clustered in one
+// region) or "latest" (zipfian over the most recent keys).
+func NewGenerator(distribution string, n int64, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	switch distribution {
+	case "zipfian":
+		return NewScrambledZipfian(n, seed)
+	case "latest":
+		return &latestGenerator{z: NewZipfian(n, ZipfianConstant, rng), n: n}
+	default:
+		return &uniformGenerator{n: n, rng: rng}
+	}
+}
+
+type uniformGenerator struct {
+	n   int64
+	rng *rand.Rand
+}
+
+// Next implements Generator.
+func (g *uniformGenerator) Next() int64 { return g.rng.Int63n(g.n) }
+
+// latestGenerator skews toward the highest ordinals ("latest" records).
+type latestGenerator struct {
+	z *Zipfian
+	n int64
+}
+
+// Next implements Generator.
+func (g *latestGenerator) Next() int64 { return g.n - 1 - g.z.Next() }
+
+// ZipfianConstant is YCSB's default skew parameter θ.
+const ZipfianConstant = 0.99
+
+// Zipfian generates zipf-distributed ordinals in [0, n) using the
+// incremental algorithm of Gray et al. ("Quickly generating billion-record
+// synthetic databases"), exactly as YCSB's ZipfianGenerator does. Item 0 is
+// the most popular.
+type Zipfian struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a zipfian generator over [0, n) with skew theta.
+func NewZipfian(n int64, theta float64, rng *rand.Rand) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads zipfian popularity across the whole key space by
+// hashing, as YCSB does, so hot keys are not clustered in one region.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n int64
+}
+
+// NewScrambledZipfian builds a scrambled zipfian generator over [0, n).
+func NewScrambledZipfian(n int64, seed int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, ZipfianConstant, rand.New(rand.NewSource(seed))), n: n}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next() int64 {
+	return int64(fnvHash64(uint64(s.z.Next()))) % s.n
+}
+
+func fnvHash64(v uint64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= prime
+		v >>= 8
+	}
+	return h >> 1 // keep it non-negative when cast to int64
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"diffindex"
+)
+
+// The extended-YCSB schema of §8.1: an item table where each row has a
+// unique item id as row key and 10 columns — item_title and item_price are
+// indexed, the other 8 carry 100-byte random filler so rows are ≈1 KB.
+const (
+	// TableName is the base table's name.
+	TableName = "item"
+	// TitleColumn is the exact-match-indexed column (index item_title).
+	TitleColumn = "title"
+	// PriceColumn is the range-indexed column (index item_price).
+	PriceColumn = "price"
+	// FillerColumns is the number of random filler columns.
+	FillerColumns = 8
+	// FillerLength is each filler column's value size in bytes.
+	FillerLength = 100
+)
+
+// ItemKey renders the row key of item ordinal i.
+func ItemKey(i int64) []byte { return []byte(fmt.Sprintf("item%010d", i)) }
+
+// TitleValue renders the initial indexed title of item i: unique per item,
+// so an exact-match index query returns exactly one row (§8.2's read
+// experiment).
+func TitleValue(i int64) []byte { return []byte(fmt.Sprintf("t%010d", i)) }
+
+// UpdatedTitleValue renders the title written by the gen-th update of item
+// i — unique per (item, gen), forcing every update to move the index entry.
+func UpdatedTitleValue(i int64, gen int64) []byte {
+	return []byte(fmt.Sprintf("t%010d-u%08d", i, gen))
+}
+
+// PriceValue renders the price of item i: a zero-padded ordinal, so a range
+// covering a fraction f of the value space selects ≈ f of the rows (the
+// selectivity control of Figure 9).
+func PriceValue(i int64) []byte { return []byte(fmt.Sprintf("%012d", i)) }
+
+// TableSplits returns count-1 evenly spaced row-key split points for the
+// item table, spreading records regions across servers (§8.1: "We evenly
+// distribute the data and index table among all 8 region servers").
+func TableSplits(records int64, count int) [][]byte {
+	if count <= 1 {
+		return nil
+	}
+	splits := make([][]byte, 0, count-1)
+	for i := 1; i < count; i++ {
+		splits = append(splits, ItemKey(records*int64(i)/int64(count)))
+	}
+	return splits
+}
+
+// TitleIndexSplits returns evenly spaced index-key splits for item_title.
+func TitleIndexSplits(records int64, count int) [][]byte {
+	if count <= 1 {
+		return nil
+	}
+	vals := make([][]byte, 0, count-1)
+	for i := 1; i < count; i++ {
+		vals = append(vals, TitleValue(records*int64(i)/int64(count)))
+	}
+	return diffindex.IndexSplitPoints(vals...)
+}
+
+// PriceIndexSplits returns evenly spaced index-key splits for item_price.
+func PriceIndexSplits(records int64, count int) [][]byte {
+	if count <= 1 {
+		return nil
+	}
+	vals := make([][]byte, 0, count-1)
+	for i := 1; i < count; i++ {
+		vals = append(vals, PriceValue(records*int64(i)/int64(count)))
+	}
+	return diffindex.IndexSplitPoints(vals...)
+}
+
+// ItemRow builds the full column set of item i, using rng for the filler
+// bytes.
+func ItemRow(i int64, rng *rand.Rand) diffindex.Cols {
+	cols := diffindex.Cols{
+		TitleColumn: TitleValue(i),
+		PriceColumn: PriceValue(i),
+	}
+	for f := 0; f < FillerColumns; f++ {
+		buf := make([]byte, FillerLength)
+		rng.Read(buf)
+		cols[fmt.Sprintf("field%d", f)] = buf
+	}
+	return cols
+}
+
+// Load inserts items [0, records) using the given number of loader threads,
+// then waits for asynchronous indexes to converge. It mirrors the paper's
+// load phase: data present before measurement, flushed afterwards by the
+// caller if reads should be disk-bound.
+func Load(db *diffindex.DB, records int64, threads int) error {
+	if threads <= 0 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	per := (records + int64(threads) - 1) / int64(threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := db.NewClient(fmt.Sprintf("loader-%d", w))
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			lo, hi := int64(w)*per, (int64(w)+1)*per
+			if hi > records {
+				hi = records
+			}
+			for i := lo; i < hi; i++ {
+				if _, err := cl.Put(TableName, ItemKey(i), ItemRow(i, rng)); err != nil {
+					errCh <- fmt.Errorf("load item %d: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}
+
+// Setup creates the item table and the requested indexes, pre-split across
+// the cluster's servers, and loads the records. titleScheme/priceScheme of
+// -1 skip that index (the "null"/no-index baseline).
+func Setup(db *diffindex.DB, records int64, regionsPerTable int, titleScheme, priceScheme int, loaderThreads int) error {
+	if err := db.CreateTable(TableName, TableSplits(records, regionsPerTable)); err != nil {
+		return err
+	}
+	if titleScheme >= 0 {
+		if err := db.CreateIndex(TableName, []string{TitleColumn}, diffindex.Scheme(titleScheme), TitleIndexSplits(records, regionsPerTable)); err != nil {
+			return err
+		}
+	}
+	if priceScheme >= 0 {
+		if err := db.CreateIndex(TableName, []string{PriceColumn}, diffindex.Scheme(priceScheme), PriceIndexSplits(records, regionsPerTable)); err != nil {
+			return err
+		}
+	}
+	if err := Load(db, records, loaderThreads); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/metrics"
+)
+
+// OpKind labels the operation types the runner can issue.
+type OpKind int
+
+const (
+	// OpUpdate writes a new title to an item (a base put that forces index
+	// maintenance) — the update workload of Figures 7 and 10.
+	OpUpdate OpKind = iota
+	// OpIndexRead is an exact-match getByIndex on item_title — Figure 8.
+	OpIndexRead
+	// OpRangeRead is a range query on item_price — Figure 9.
+	OpRangeRead
+	// OpRowRead is a plain primary-key row read (used for mixed workloads).
+	OpRowRead
+	numOpKinds
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpUpdate:
+		return "update"
+	case OpIndexRead:
+		return "index-read"
+	case OpRangeRead:
+		return "range-read"
+	case OpRowRead:
+		return "row-read"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// RunConfig shapes one measured run.
+type RunConfig struct {
+	// Records is the loaded item count (key-chooser domain).
+	Records int64
+	// Threads is the closed-loop client thread count (the paper sweeps
+	// 1-320).
+	Threads int
+	// TotalOps ends the run after this many operations (split across
+	// threads). If 0, Duration governs.
+	TotalOps int64
+	// Duration ends the run after this wall time when TotalOps is 0.
+	Duration time.Duration
+	// TargetTPS, when non-zero, throttles the aggregate request rate — the
+	// fixed-load mode of Figure 11's staleness measurement.
+	TargetTPS float64
+	// Mix gives the probability of each op kind; entries must sum to ≤ 1,
+	// the remainder going to OpUpdate.
+	Mix map[OpKind]float64
+	// RangeSelectivity sets the fraction of the price-value space covered
+	// by each range query (Figure 9 sweeps 0.000001-0.001).
+	RangeSelectivity float64
+	// Distribution is the key-chooser ("uniform", "zipfian", "latest").
+	Distribution string
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Duration time.Duration
+	Ops      int64
+	Errors   int64
+	// TPS is the achieved aggregate throughput.
+	TPS float64
+	// PerOp holds one latency histogram (nanoseconds) per op kind.
+	PerOp map[OpKind]*metrics.Histogram
+	// All aggregates every operation's latency.
+	All *metrics.Histogram
+}
+
+// Run drives the workload against the cluster and returns its measurements.
+// Each thread is a separate network client issuing back-to-back requests
+// ("Each client thread continuously submits read/write request to the
+// system. A completed request will be followed up by another one
+// immediately", §8.1).
+func Run(db *diffindex.DB, cfg RunConfig) Result {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Records <= 0 {
+		cfg.Records = 1
+	}
+	res := Result{
+		PerOp: make(map[OpKind]*metrics.Histogram, numOpKinds),
+		All:   metrics.NewHistogram(),
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		res.PerOp[k] = metrics.NewHistogram()
+	}
+
+	var (
+		opsIssued atomic.Int64
+		errs      atomic.Int64
+		updateGen atomic.Int64
+	)
+	deadline := time.Time{}
+	if cfg.TotalOps == 0 {
+		d := cfg.Duration
+		if d == 0 {
+			d = time.Second
+		}
+		deadline = time.Now().Add(d)
+	}
+	perThreadInterval := time.Duration(0)
+	if cfg.TargetTPS > 0 {
+		perThreadInterval = time.Duration(float64(time.Second) / (cfg.TargetTPS / float64(cfg.Threads)))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := db.NewClient(fmt.Sprintf("ycsb-%d", w))
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
+			chooser := NewGenerator(cfg.Distribution, cfg.Records, cfg.Seed+int64(w)*15485863)
+			next := time.Now()
+			for {
+				if cfg.TotalOps > 0 {
+					if opsIssued.Add(1) > cfg.TotalOps {
+						return
+					}
+				} else {
+					if time.Now().After(deadline) {
+						return
+					}
+					opsIssued.Add(1)
+				}
+				if perThreadInterval > 0 {
+					now := time.Now()
+					if now.Before(next) {
+						time.Sleep(next.Sub(now))
+					}
+					next = next.Add(perThreadInterval)
+				}
+
+				kind := pickOp(rng, cfg.Mix)
+				item := chooser.Next()
+				opStart := time.Now()
+				var err error
+				switch kind {
+				case OpUpdate:
+					gen := updateGen.Add(1)
+					_, err = cl.Put(TableName, ItemKey(item), diffindex.Cols{
+						TitleColumn: UpdatedTitleValue(item, gen),
+					})
+				case OpIndexRead:
+					_, err = cl.GetByIndex(TableName, []string{TitleColumn}, TitleValue(item))
+				case OpRangeRead:
+					span := int64(cfg.RangeSelectivity * float64(cfg.Records))
+					if span < 1 {
+						span = 1
+					}
+					lo := item
+					if lo+span > cfg.Records {
+						lo = cfg.Records - span
+					}
+					_, err = cl.RangeByIndex(TableName, []string{PriceColumn},
+						PriceValue(lo), PriceValue(lo+span-1), 0)
+				case OpRowRead:
+					_, err = cl.GetRow(TableName, ItemKey(item))
+				}
+				lat := time.Since(opStart)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				res.PerOp[kind].RecordDuration(lat)
+				res.All.RecordDuration(lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.Ops = res.All.Count()
+	res.Errors = errs.Load()
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.TPS = float64(res.Ops) / secs
+	}
+	return res
+}
+
+// pickOp samples an op kind from the mix; unassigned probability mass goes
+// to OpUpdate.
+func pickOp(rng *rand.Rand, mix map[OpKind]float64) OpKind {
+	if len(mix) == 0 {
+		return OpUpdate
+	}
+	u := rng.Float64()
+	acc := 0.0
+	for k := OpKind(0); k < numOpKinds; k++ {
+		p, ok := mix[k]
+		if !ok {
+			continue
+		}
+		acc += p
+		if u < acc {
+			return k
+		}
+	}
+	return OpUpdate
+}

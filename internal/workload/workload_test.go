@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"diffindex"
+)
+
+func TestZipfianSkewAndRange(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n, ZipfianConstant, rand.New(rand.NewSource(1)))
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= n {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate: with θ=0.99 and n=1000 it gets ≈13% of draws.
+	if counts[0] < draws/20 {
+		t.Errorf("item 0 drew only %d/%d", counts[0], draws)
+	}
+	if counts[0] < counts[n/2]*10 {
+		t.Errorf("insufficient skew: head=%d mid=%d", counts[0], counts[n/2])
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g := NewGenerator("uniform", 100, 7)
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := g.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("uniform covered only %d/100 values", len(seen))
+	}
+}
+
+func TestLatestSkewsHigh(t *testing.T) {
+	g := NewGenerator("latest", 1000, 7)
+	high := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v := g.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= 900 {
+			high++
+		}
+	}
+	if high < draws/3 {
+		t.Errorf("latest drew top decile only %d/%d", high, draws)
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	g := NewScrambledZipfian(1000, 3)
+	seen := map[int64]bool{}
+	for i := 0; i < 5000; i++ {
+		v := g.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("scrambled out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	// The hot set must not be clustered at the low ordinals.
+	low := 0
+	for v := range seen {
+		if v < 100 {
+			low++
+		}
+	}
+	if low > len(seen)/2 {
+		t.Errorf("scrambled zipfian clustered: %d/%d in the first decile", low, len(seen))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator("zipfian", 500, 42)
+	b := NewGenerator("zipfian", 500, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestItemSchemaShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cols := ItemRow(7, rng)
+	if len(cols) != 2+FillerColumns {
+		t.Errorf("ItemRow has %d columns", len(cols))
+	}
+	size := 0
+	for _, v := range cols {
+		size += len(v)
+	}
+	if size < 800 || size > 1200 {
+		t.Errorf("row payload = %d bytes, want ≈1KB", size)
+	}
+	if string(ItemKey(3)) >= string(ItemKey(10)) {
+		t.Error("item keys must sort numerically")
+	}
+	if string(PriceValue(5)) >= string(PriceValue(50)) {
+		t.Error("price values must sort numerically")
+	}
+	if string(TitleValue(1)) == string(UpdatedTitleValue(1, 1)) {
+		t.Error("updated title must differ from the initial title")
+	}
+}
+
+func TestSplitsAreSortedAndSized(t *testing.T) {
+	for _, splits := range [][][]byte{
+		TableSplits(1000, 4),
+		TitleIndexSplits(1000, 4),
+		PriceIndexSplits(1000, 4),
+	} {
+		if len(splits) != 3 {
+			t.Fatalf("got %d splits, want 3", len(splits))
+		}
+		for i := 1; i < len(splits); i++ {
+			if string(splits[i-1]) >= string(splits[i]) {
+				t.Fatal("splits unsorted")
+			}
+		}
+	}
+	if TableSplits(1000, 1) != nil || TitleIndexSplits(10, 0) != nil || PriceIndexSplits(10, 1) != nil {
+		t.Error("single-region split lists must be nil")
+	}
+}
+
+func TestSetupLoadAndRun(t *testing.T) {
+	db := diffindex.Open(diffindex.Options{Servers: 3})
+	defer db.Close()
+	const records = 200
+	if err := Setup(db, records, 3, int(diffindex.SyncInsert), int(diffindex.SyncFull), 2); err != nil {
+		t.Fatal(err)
+	}
+	cl := db.NewClient("verify")
+	// Loaded rows are present and indexed.
+	row, err := cl.GetRow(TableName, ItemKey(42))
+	if err != nil || row == nil || string(row[TitleColumn]) != string(TitleValue(42)) {
+		t.Fatalf("row 42 = %v err=%v", row, err)
+	}
+	hits, err := cl.GetByIndex(TableName, []string{TitleColumn}, TitleValue(42))
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("title index hits = %v err=%v", hits, err)
+	}
+	// A run with a mixed op profile completes and records latencies.
+	res := Run(db, RunConfig{
+		Records:  records,
+		Threads:  4,
+		TotalOps: 400,
+		Mix: map[OpKind]float64{
+			OpIndexRead: 0.3,
+			OpRangeRead: 0.1,
+			OpRowRead:   0.1,
+			// remaining 0.5 → updates
+		},
+		RangeSelectivity: 0.01,
+		Distribution:     "zipfian",
+		Seed:             11,
+	})
+	if res.Ops == 0 || res.TPS <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors during run", res.Errors)
+	}
+	for _, k := range []OpKind{OpUpdate, OpIndexRead, OpRangeRead, OpRowRead} {
+		if res.PerOp[k].Count() == 0 {
+			t.Errorf("op kind %s never ran", k)
+		}
+	}
+	if res.All.Count() != res.Ops {
+		t.Errorf("All histogram count %d != ops %d", res.All.Count(), res.Ops)
+	}
+}
+
+func TestRunThrottled(t *testing.T) {
+	db := diffindex.Open(diffindex.Options{Servers: 2})
+	defer db.Close()
+	if err := Setup(db, 50, 2, int(diffindex.AsyncSimple), -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	const target = 500.0
+	res := Run(db, RunConfig{
+		Records:      50,
+		Threads:      2,
+		Duration:     400 * time.Millisecond,
+		TargetTPS:    target,
+		Distribution: "uniform",
+		Seed:         3,
+	})
+	if res.TPS > target*1.5 {
+		t.Errorf("throttled run achieved %.0f TPS, target %.0f", res.TPS, target)
+	}
+	if res.Ops == 0 {
+		t.Error("throttled run did nothing")
+	}
+	if !db.WaitForIndexes(5 * time.Second) {
+		t.Error("async index did not converge after run")
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	db := diffindex.Open(diffindex.Options{Servers: 2})
+	defer db.Close()
+	if err := Setup(db, 20, 2, -1, -1, 1); err != nil { // no-index baseline
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res := Run(db, RunConfig{
+		Records:      20,
+		Threads:      2,
+		Duration:     100 * time.Millisecond,
+		Distribution: "uniform",
+		Seed:         5,
+	})
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("duration mode returned too early: %v", elapsed)
+	}
+	if res.Ops == 0 {
+		t.Error("no ops in duration mode")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpUpdate: "update", OpIndexRead: "index-read",
+		OpRangeRead: "range-read", OpRowRead: "row-read",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown op must render")
+	}
+}
