@@ -1,0 +1,37 @@
+#!/bin/sh
+# ci.sh — the full verification gate (tier-1 plus formatting, vet and the
+# race detector). Stdlib/toolchain only; no external dependencies.
+#
+#   ./ci.sh
+#
+# Steps:
+#   1. gofmt -l         — fail on any unformatted file
+#   2. go vet ./...     — static analysis
+#   3. go build ./...   — everything compiles
+#   4. go test ./...    — full test suite (tier-1)
+#   5. go test -race ./internal/...  — concurrency-heavy packages under the
+#      race detector (block cache, AUQ/APS, cluster, LSM)
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (internal) =="
+go test -race ./internal/...
+
+echo "CI PASSED"

@@ -96,6 +96,10 @@ type Options struct {
 	// APSWorkers is the number of asynchronous processing workers per
 	// region (default 2).
 	APSWorkers int
+	// APSBatch bounds how many queued index updates one APS worker drains
+	// and coalesces into a single region-batched apply (default 16; 1
+	// disables micro-batching).
+	APSBatch int
 	// StalenessSampleEvery samples every Nth async completion into the
 	// staleness histogram (default 1 = all; the paper samples 0.1%).
 	StalenessSampleEvery int
@@ -138,6 +142,7 @@ func Open(opts Options) *DB {
 	m := core.NewManager(c, core.ManagerOptions{
 		QueueCapacity:        opts.AUQCapacity,
 		Workers:              opts.APSWorkers,
+		APSBatch:             opts.APSBatch,
 		StalenessSampleEvery: opts.StalenessSampleEvery,
 		SessionTTL:           opts.SessionTTL,
 		SessionMaxBytes:      opts.SessionMaxBytes,
@@ -269,6 +274,30 @@ func (db *DB) IOCounts() IOCounts {
 		IndexPut: s.IndexPut, IndexDel: s.IndexDel, IndexRead: s.IndexRead,
 		AsyncBaseRead: s.AsyncBaseRead, AsyncIndexPut: s.AsyncIndexPut, AsyncIndexDel: s.AsyncIndexDel,
 	}
+}
+
+// HotPathStats reports the hot-path batching instrumentation: block-cache
+// effectiveness (rolled up across every server's cache shards), the
+// index-maintenance RPC fan-out (Apply RPCs delivered vs. cells they
+// carried — Cells/RPCs is the batching factor, 1.0 meaning the historical
+// one-RPC-per-cell behaviour), and the mean APS micro-batch size.
+type HotPathStats struct {
+	CacheHits, CacheMisses int64
+	ApplyRPCs, ApplyCells  int64
+	APSBatchMean           float64
+}
+
+// HotPathStats returns a snapshot of the hot-path batching counters.
+func (db *DB) HotPathStats() HotPathStats {
+	var s HotPathStats
+	for _, id := range db.c.ServerIDs() {
+		h, m := db.c.Server(id).CacheStats()
+		s.CacheHits += h
+		s.CacheMisses += m
+	}
+	s.ApplyRPCs, s.ApplyCells = db.m.ApplyStats()
+	s.APSBatchMean = db.m.APSBatchSizes().Mean()
+	return s
 }
 
 // StalenessStats summarizes the measured index-after-data time lag of

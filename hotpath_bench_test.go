@@ -1,0 +1,63 @@
+// Hot-path throughput benchmarks: the RPC fan-out of index maintenance
+// (region-batched MultiApply vs the historical one-RPC-per-index-cell) and
+// the APS micro-batch size under concurrent update load. Custom metrics:
+//
+//	rpcs/op  — Apply RPCs issued per update (index maintenance fan-out)
+//	cells/op — index cells shipped per update (2 for a value change:
+//	           superseded delete + new insert)
+//	aps-batch — mean tasks coalesced per APS drain (async schemes only)
+//
+// rpcs/op < cells/op is the tentpole win: without batching the two are
+// equal by construction.
+package diffindex_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+func BenchmarkHotPathRPCFanout(b *testing.B) {
+	for _, s := range []struct {
+		name   string
+		scheme int
+		async  bool
+	}{
+		{"sync-full", int(diffindex.SyncFull), false},
+		{"async", int(diffindex.AsyncSimple), true},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			db := benchDB(b, s.scheme, -1)
+			cl := db.NewClient("bench")
+			start := db.HotPathStats()
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					item := i % benchRecords
+					_, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+						workload.TitleColumn: workload.UpdatedTitleValue(item, i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if s.async && !db.WaitForIndexes(2*time.Minute) {
+				b.Fatal("async indexes did not converge")
+			}
+			end := db.HotPathStats()
+			n := float64(b.N)
+			b.ReportMetric(float64(end.ApplyRPCs-start.ApplyRPCs)/n, "rpcs/op")
+			b.ReportMetric(float64(end.ApplyCells-start.ApplyCells)/n, "cells/op")
+			if s.async {
+				b.ReportMetric(end.APSBatchMean, "aps-batch")
+			}
+		})
+	}
+}

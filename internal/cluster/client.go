@@ -9,7 +9,17 @@ import (
 
 	"diffindex/internal/kv"
 	"diffindex/internal/lsm"
+	"diffindex/internal/metrics"
 )
+
+// ApplyStats counts the index-maintenance RPC fan-out: Apply RPCs that
+// reached a region server versus the cells those RPCs carried. A batched
+// hot path ships many cells per RPC, so Cells/RPCs is the batching factor
+// (1.0 = the historical one-RPC-per-cell behaviour).
+type ApplyStats struct {
+	RPCs  metrics.Counter // Apply RPCs delivered to region servers
+	Cells metrics.Counter // cells shipped in those RPCs
+}
 
 // Client is the store's client library (§2.2): it caches a copy of the
 // partition map and routes each request to the region server hosting the
@@ -21,6 +31,21 @@ type Client struct {
 
 	mu     sync.Mutex
 	routes map[string][]RegionInfo
+
+	// stats, when set, counts Apply RPC fan-out (see ApplyStats).
+	stats *ApplyStats
+}
+
+// SetApplyStats attaches a (possibly shared) fan-out counter to the client.
+// Not safe to call concurrently with requests; attach before use.
+func (cl *Client) SetApplyStats(s *ApplyStats) { cl.stats = s }
+
+// countApply records one delivered Apply RPC carrying n cells.
+func (cl *Client) countApply(n int) {
+	if cl.stats != nil {
+		cl.stats.RPCs.Inc()
+		cl.stats.Cells.Add(int64(n))
+	}
 }
 
 // NewClient returns a client with the given simnet node name.
@@ -306,9 +331,93 @@ func (cl *Client) Scan(table string, startRow, endRow []byte, limit int) ([]Row,
 // RawApply writes pre-timestamped cells to the region holding routingKey —
 // the index-maintenance path, where cells carry the base entry's timestamp.
 func (cl *Client) RawApply(table string, routingKey []byte, cells []kv.Cell) error {
-	return cl.withRegion(table, routingKey, func(ri RegionInfo, s *RegionServer) error {
+	err := cl.withRegion(table, routingKey, func(ri RegionInfo, s *RegionServer) error {
 		return s.Apply(ri.ID, cells)
 	})
+	if err == nil {
+		cl.countApply(len(cells))
+	}
+	return err
+}
+
+// MultiApply writes pre-timestamped cells to a RAW (index) table, grouping
+// them by destination region through the cached partition map and issuing
+// ONE Apply RPC per region — the region-batched index-maintenance path.
+// Each cell routes by its own Key (raw tables route by store key).
+//
+// When a region moved mid-batch (split, crash recovery), the groups that
+// hit the stale route fail with a retriable error; the partition map is
+// invalidated and only the failed cells are regrouped and retried, with the
+// same backoff as withRegion. Cells carry fixed timestamps, so a retry that
+// re-delivers an already-applied cell is idempotent under LSM semantics
+// (§4.3's same-timestamp rule) — no cell is lost or duplicated.
+func (cl *Client) MultiApply(table string, cells []kv.Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	pending := cells
+	var lastErr error
+	backoff := time.Millisecond
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		// Group the pending cells by destination region.
+		regions, err := cl.regions(table)
+		if err != nil {
+			return err
+		}
+		groups := make(map[string][]kv.Cell)
+		infos := make(map[string]RegionInfo)
+		for _, c := range pending {
+			ri, ok := regionContaining(regions, c.Key)
+			if !ok {
+				return fmt.Errorf("cluster: no region for key %q in table %s", c.Key, table)
+			}
+			groups[ri.ID] = append(groups[ri.ID], c)
+			infos[ri.ID] = ri
+		}
+
+		// One Apply per region; collect the cells of failed (retriable)
+		// groups for the next round.
+		var failed []kv.Cell
+		for id, group := range groups {
+			ri := infos[id]
+			server := cl.cluster.Server(ri.Server)
+			err := cl.cluster.Net.Call(cl.name, ri.Server, func() error {
+				return server.Apply(ri.ID, group)
+			})
+			switch {
+			case err == nil:
+				cl.countApply(len(group))
+			case retriable(err):
+				lastErr = err
+				failed = append(failed, group...)
+			default:
+				return err
+			}
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		cl.invalidate(table)
+		if len(cl.cluster.LiveServerIDs()) == 0 {
+			return fmt.Errorf("cluster: no live servers for table %s: %w", table, lastErr)
+		}
+		pending = failed
+		time.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("cluster: retries exhausted for table %s: %w", table, lastErr)
+}
+
+// regionContaining finds the region of a sorted region list holding key.
+func regionContaining(regions []RegionInfo, key []byte) (RegionInfo, bool) {
+	for _, ri := range regions {
+		if ri.Contains(key) {
+			return ri, true
+		}
+	}
+	return RegionInfo{}, false
 }
 
 // RawGet reads a raw store key from the region holding routingKey at ts.

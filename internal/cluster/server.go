@@ -37,6 +37,15 @@ func newRegionServer(c *Cluster, id string) *RegionServer {
 // ID returns the server's node name (also its simnet address).
 func (s *RegionServer) ID() string { return s.id }
 
+// CacheStats returns the server's block-cache cumulative hit and miss
+// counts (rolled up across the cache's shards).
+func (s *RegionServer) CacheStats() (hits, misses int64) {
+	s.mu.RLock()
+	cache := s.cache
+	s.mu.RUnlock()
+	return cache.Stats()
+}
+
 // Crashed reports whether the server is down.
 func (s *RegionServer) Crashed() bool { return s.crashed.Load() }
 
@@ -64,13 +73,16 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 	}
 	region := &Region{Info: info, server: s}
 	var replayed []kv.Cell
+	s.mu.RLock()
+	cache := s.cache
+	s.mu.RUnlock()
 	store, err := lsm.Open(lsm.Options{
 		FS:                  s.cluster.FS,
 		Dir:                 regionDir(info),
 		MemtableBytes:       s.cluster.cfg.MemtableBytes,
 		MaxVersions:         s.cluster.cfg.MaxVersions,
 		CompactionThreshold: s.cluster.cfg.CompactionThreshold,
-		BlockCache:          s.cache,
+		BlockCache:          cache,
 		OnReplay: func(c kv.Cell) {
 			s.cluster.clock.Observe(c.Ts)
 			replayed = append(replayed, c.Clone())
@@ -327,7 +339,9 @@ func (s *RegionServer) crash() {
 		}
 		r.store.Close() // releases files; unflushed data stays in the WAL
 	}
+	s.mu.Lock()
 	s.cache = sstable.NewBlockCache(s.cluster.cfg.BlockCacheBytes)
+	s.mu.Unlock()
 }
 
 // markDown makes the server reject requests without releasing its regions

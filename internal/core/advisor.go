@@ -37,19 +37,33 @@ func (m *Manager) Cleanse(cl *cluster.Client, table string, columns ...string) (
 	if err != nil {
 		return 0, 0, err
 	}
+	var repairs []kv.Cell
 	for _, e := range entries {
 		val, row, err := kv.SplitIndexKey(e.Key)
 		if err != nil {
 			return checked, repaired, fmt.Errorf("core: corrupt index key in %s: %w", def.Name(), err)
 		}
 		checked++
-		keep, err := m.doubleCheck(cl, def, val, row, e.Ts)
+		keep, err := m.doubleCheck(cl, def, val, row)
 		if err != nil {
 			return checked, repaired, err
 		}
 		if !keep {
+			repairs = append(repairs, kv.Cell{
+				Key:  append([]byte(nil), e.Key...),
+				Ts:   e.Ts,
+				Kind: kv.KindDelete,
+			})
 			repaired++
 		}
+	}
+	// Delete every stale entry found by the sweep in one region-batched
+	// apply per destination region.
+	if len(repairs) > 0 {
+		if err := cl.MultiApply(def.Name(), repairs); err != nil {
+			return checked, repaired, err
+		}
+		m.Counters.IndexDel.Add(int64(len(repairs)))
 	}
 	return checked, repaired, nil
 }

@@ -108,9 +108,14 @@ func (q *auq) kill() {
 
 func (q *auq) worker() {
 	defer q.wg.Done()
+	batch := make([]task, 0, q.m.opts.APSBatch)
 	for t := range q.ch {
-		q.process(t)
-		q.pending.Add(-1)
+		// Micro-batching: after the first (blocking) receive, drain up to
+		// APSBatch−1 more queued tasks without blocking, then coalesce the
+		// whole batch's index mutations into region-batched applies.
+		batch = append(batch[:0], t)
+		q.fill(&batch)
+		q.processBatch(batch)
 	}
 	// Drain remaining pending count for anyone stuck in drain().
 	for range q.ch {
@@ -118,16 +123,46 @@ func (q *auq) worker() {
 	}
 }
 
-// process performs the background index maintenance for one task
-// (Algorithm 4): read the pre-image at ts−δ, delete superseded index
-// entries, insert the new ones. Transient failures are retried with backoff
-// until the region dies; this is what guarantees eventual execution (§5.1).
-func (q *auq) process(t task) {
+// fill appends queued tasks to *batch without blocking, up to the APSBatch
+// bound. A closed channel simply stops the fill; the tasks already received
+// are still processed.
+func (q *auq) fill(batch *[]task) {
+	for len(*batch) < q.m.opts.APSBatch {
+		select {
+		case t, ok := <-q.ch:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, t)
+		default:
+			return
+		}
+	}
+}
+
+// processBatch performs the background index maintenance for a drained
+// batch of tasks (micro-batched Algorithm 4): per task, read the pre-image
+// at ts−δ and compute the superseded deletes and new inserts; then ship the
+// coalesced cells with one Apply per destination index region. Transient
+// failures retry the whole batch with backoff — redelivery is idempotent
+// because index cells carry the base entries' timestamps — until the region
+// dies; this is what guarantees eventual execution (§5.1).
+//
+// pending is decremented only after every task's cells are durable (or on
+// region death, where drain() gives up anyway and WAL replay reconstructs
+// the work), so the drain-before-flush invariant PR(Flushed) = ∅ holds:
+// a flush's drain cannot complete while any drained task's index cells are
+// still in flight.
+func (q *auq) processBatch(batch []task) {
+	defer q.pending.Add(-int64(len(batch)))
+	q.m.apsBatch.Record(int64(len(batch)))
 	backoff := 200 * time.Microsecond
 	for {
-		err := q.m.applyIndexUpdates(q.ctx, t, true)
+		err := q.m.applyIndexBatch(q.ctx, batch)
 		if err == nil {
-			q.m.observeStaleness(t.enqueuedAt)
+			for _, t := range batch {
+				q.m.observeStaleness(t.enqueuedAt)
+			}
 			return
 		}
 		if q.killed.Load() || q.ctx.Server.Crashed() {

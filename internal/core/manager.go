@@ -19,6 +19,11 @@ type ManagerOptions struct {
 	QueueCapacity int
 	// Workers is the number of APS workers per region. Defaults to 2.
 	Workers int
+	// APSBatch bounds how many queued tasks one APS worker drains at once
+	// (non-blocking after the first receive) and coalesces into
+	// region-batched index applies — the micro-batching bound K. 1
+	// disables batching. Defaults to 16.
+	APSBatch int
 	// StalenessSampleEvery samples every Nth AUQ completion into the
 	// staleness histogram — the paper samples 0.1% of inserted entries
 	// (§8.2). Defaults to 1 (sample everything; experiments that need the
@@ -46,6 +51,9 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	if o.Workers <= 0 {
 		o.Workers = 2
 	}
+	if o.APSBatch <= 0 {
+		o.APSBatch = 16
+	}
 	if o.StalenessSampleEvery <= 0 {
 		o.StalenessSampleEvery = 1
 	}
@@ -68,6 +76,14 @@ type Manager struct {
 
 	// Counters instruments I/O along the axes of Table 2.
 	Counters OpCounters
+
+	// applyStats counts index-maintenance RPC fan-out (Apply RPCs issued
+	// vs. cells shipped) across every server-side client; shared so the
+	// roll-up covers all servers.
+	applyStats cluster.ApplyStats
+	// apsBatch records the size of every APS micro-batch one worker
+	// drained and applied together.
+	apsBatch *metrics.Histogram
 
 	mu          sync.Mutex
 	auqs        map[*cluster.Region]*auq
@@ -106,8 +122,20 @@ func NewManager(c *cluster.Cluster, opts ManagerOptions) *Manager {
 		auqs:        make(map[*cluster.Region]*auq),
 		serverConns: make(map[string]*cluster.Client),
 		staleness:   metrics.NewHistogram(),
+		apsBatch:    metrics.NewHistogram(),
 	}
 }
+
+// ApplyStats reports the cumulative index-maintenance fan-out: Apply RPCs
+// delivered to region servers and the cells those RPCs carried. With
+// region-batched maintenance, Cells/RPCs > 1 measures the batching win.
+func (m *Manager) ApplyStats() (rpcs, cells int64) {
+	return m.applyStats.RPCs.Load(), m.applyStats.Cells.Load()
+}
+
+// APSBatchSizes exposes the histogram of APS micro-batch sizes (tasks per
+// drained batch); its mean is the paper-facing "mean APS batch size" metric.
+func (m *Manager) APSBatchSizes() *metrics.Histogram { return m.apsBatch }
 
 // Catalog exposes the index metadata catalog.
 func (m *Manager) Catalog() *Catalog { return m.catalog }
@@ -148,31 +176,49 @@ func (m *Manager) backfill(def IndexDef) error {
 	if err != nil {
 		return err
 	}
+	// backfillChunk bounds the global-index cell batch flushed in one
+	// region-batched MultiApply.
+	const backfillChunk = 256
 	var (
 		curRow []byte
 		cols   map[string][]byte
 		maxTs  kv.Timestamp
+		batch  []kv.Cell // pending global-index entries
 	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := cl.MultiApply(def.Name(), batch); err != nil {
+			return err
+		}
+		m.Counters.IndexPut.Add(int64(len(batch)))
+		batch = batch[:0]
+		return nil
+	}
 	emit := func() error {
 		if cols == nil {
 			return nil
 		}
 		if v, ok := indexValue(def, cols); ok {
 			cell := kv.Cell{Ts: maxTs, Kind: kv.KindPut}
-			var err error
 			if def.Local {
 				// Local entries route by ROW so they land in the row's own
-				// region.
+				// region — they cannot ride the key-routed MultiApply batch.
 				cell.Key = kv.LocalIndexKey(def.Name(), v, curRow)
-				err = cl.RawApply(def.Table, curRow, []kv.Cell{cell})
+				if err := cl.RawApply(def.Table, curRow, []kv.Cell{cell}); err != nil {
+					return err
+				}
+				m.Counters.IndexPut.Inc()
 			} else {
 				cell.Key = kv.IndexKey(v, curRow)
-				err = cl.RawApply(def.Name(), cell.Key, []kv.Cell{cell})
+				batch = append(batch, cell)
+				if len(batch) >= backfillChunk {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
 			}
-			if err != nil {
-				return err
-			}
-			m.Counters.IndexPut.Inc()
 		}
 		cols, maxTs = nil, 0
 		return nil
@@ -194,7 +240,10 @@ func (m *Manager) backfill(def IndexDef) error {
 			maxTs = res.Ts
 		}
 	}
-	return emit()
+	if err := emit(); err != nil {
+		return err
+	}
+	return flush()
 }
 
 // DropIndex removes an index definition and forgets its metadata. The index
@@ -214,6 +263,7 @@ func (m *Manager) clientFor(name string) *cluster.Client {
 	cl, ok := m.serverConns[name]
 	if !ok {
 		cl = cluster.NewClient(m.cluster, name)
+		cl.SetApplyStats(&m.applyStats)
 		m.serverConns[name] = cl
 	}
 	return cl
@@ -285,28 +335,51 @@ func covered(def IndexDef, t task) bool {
 	return (t.putCols != nil && def.Covers(t.putCols)) || (t.delCols != nil && def.CoversNames(t.delCols))
 }
 
-// applyIndexUpdates is the APS's work function (Algorithm 4): it applies
-// the mutation to the asynchronous indexes it covers — or to every index
-// when the task is a replay/failure redelivery (t.allIndexes).
-func (m *Manager) applyIndexUpdates(ctx cluster.RegionCtx, t task, async bool) error {
+// relevantIndexes selects the indexes a task must maintain on the APS path:
+// asynchronous indexes it covers — or every covered index when the task is
+// a replay/failure redelivery (t.allIndexes).
+func (m *Manager) relevantIndexes(ctx cluster.RegionCtx, t task) []IndexDef {
 	var relevant []IndexDef
 	for _, def := range m.catalog.IndexesOn(ctx.Region.Info.Table) {
 		if covered(def, t) && (t.allIndexes || (!def.Local && def.Scheme.Asynchronous())) {
 			relevant = append(relevant, def)
 		}
 	}
-	return m.applyIndexUpdatesFor(ctx, t, async, relevant)
+	return relevant
 }
 
-// applyIndexUpdatesFor performs index maintenance for one base mutation
-// against the given indexes: the shared core of Algorithm 1 (sync-full,
-// async=false) and Algorithm 4 (APS, async=true). It reads the row's
-// pre-image at ts−δ once, then per index deletes the superseded entry at
-// ts−δ and inserts the new entry at ts. Index-table operations ride the
-// calling server's network identity.
-func (m *Manager) applyIndexUpdatesFor(ctx cluster.RegionCtx, t task, async bool, relevant []IndexDef) error {
+// indexMutations holds the index cells computed for one or more base
+// mutations, separated by destination: local-index cells live in the base
+// region's own store; global cells are grouped per index table so each
+// table's batch ships in one region-batched MultiApply.
+type indexMutations struct {
+	local  []kv.Cell
+	global map[string][]kv.Cell
+}
+
+func (mu *indexMutations) empty() bool { return len(mu.local) == 0 && len(mu.global) == 0 }
+
+// merge appends other's cells into mu (the APS micro-batch coalescing step).
+func (mu *indexMutations) merge(other indexMutations) {
+	mu.local = append(mu.local, other.local...)
+	for table, cells := range other.global {
+		if mu.global == nil {
+			mu.global = make(map[string][]kv.Cell)
+		}
+		mu.global[table] = append(mu.global[table], cells...)
+	}
+}
+
+// buildIndexMutations computes the index maintenance for one base mutation
+// against the given indexes without performing any index-table I/O: the
+// read-and-compute half of Algorithm 1 (sync-full, async=false) and
+// Algorithm 4 (APS, async=true). It reads the row's pre-image at ts−δ once,
+// then per index emits a delete of the superseded entry at ts−δ and an
+// insert of the new entry at ts.
+func (m *Manager) buildIndexMutations(ctx cluster.RegionCtx, t task, async bool, relevant []IndexDef) (indexMutations, error) {
+	var muts indexMutations
 	if len(relevant) == 0 {
-		return nil
+		return muts, nil
 	}
 
 	// R_B(k, t_new − δ): one local read of the row's pre-image (§4.1 SU3 /
@@ -314,7 +387,7 @@ func (m *Manager) applyIndexUpdatesFor(ctx cluster.RegionCtx, t task, async bool
 	// hosting the base region.
 	oldCols, err := ctx.Region.LocalGetRow(t.row, t.ts-kv.Delta)
 	if err != nil {
-		return err
+		return muts, err
 	}
 	if async {
 		m.Counters.AsyncBaseRead.Inc()
@@ -334,62 +407,117 @@ func (m *Manager) applyIndexUpdatesFor(ctx cluster.RegionCtx, t task, async bool
 		delete(newCols, c)
 	}
 
-	conn := m.clientFor(ctx.Server.ID())
-	var firstErr error
+	emit := func(def IndexDef, v []byte, cell kv.Cell) {
+		if def.Local {
+			cell.Key = kv.LocalIndexKey(def.Name(), v, t.row)
+			muts.local = append(muts.local, cell)
+			return
+		}
+		cell.Key = kv.IndexKey(v, t.row)
+		if muts.global == nil {
+			muts.global = make(map[string][]kv.Cell)
+		}
+		muts.global[def.Name()] = append(muts.global[def.Name()], cell)
+	}
 	for _, def := range relevant {
 		oldVal, hadOld := indexValue(def, oldCols)
 		newVal, hasNew := indexValue(def, newCols)
-
-		// writeCell applies one index mutation. Global entries are remote
-		// RPCs routed by the index key. Local entries live in THIS region's
-		// own store and are written gate-free via ApplyBatchLocked:
-		// acquiring the write gate here would deadlock, and ordering with
-		// flushes is already guaranteed — the synchronous path runs inside
-		// the put pipeline (gate held by the caller), and the APS path runs
-		// from this region's own AUQ, which a flush drains to completion
-		// before swapping the memtable.
-		writeCell := func(v []byte, cell kv.Cell) error {
-			if def.Local {
-				cell.Key = kv.LocalIndexKey(def.Name(), v, t.row)
-				return ctx.Region.Store().ApplyBatchLocked([]kv.Cell{cell})
-			}
-			cell.Key = kv.IndexKey(v, t.row)
-			return conn.RawApply(def.Name(), cell.Key, []kv.Cell{cell})
-		}
 
 		// D_I(v_old ⊕ k, t_new − δ): remove the superseded entry. The δ
 		// ensures we never delete the entry just inserted at t_new when
 		// v_old == v_new (§4.3) — and when values are equal we skip the
 		// delete entirely, as nothing is superseded.
 		if hadOld && (!hasNew || !bytes.Equal(oldVal, newVal)) {
-			if err := writeCell(oldVal, kv.Cell{Ts: t.ts - kv.Delta, Kind: kv.KindDelete}); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			if async {
-				m.Counters.AsyncIndexDel.Inc()
-			} else {
-				m.Counters.IndexDel.Inc()
-			}
+			emit(def, oldVal, kv.Cell{Ts: t.ts - kv.Delta, Kind: kv.KindDelete})
 		}
-
 		// P_I(v_new ⊕ k, t_new): insert the new key-only entry with the
 		// base entry's timestamp (§4.3's same-timestamp rule).
 		if hasNew {
-			if err := writeCell(newVal, kv.Cell{Ts: t.ts, Kind: kv.KindPut}); err != nil {
+			emit(def, newVal, kv.Cell{Ts: t.ts, Kind: kv.KindPut})
+		}
+	}
+	return muts, nil
+}
+
+// applyMutations ships computed index cells. Global entries go through the
+// calling server's client as ONE MultiApply per index table — one RPC per
+// destination region instead of one per cell. Local entries live in THIS
+// region's own store and are written gate-free in one batch via
+// ApplyBatchLocked: acquiring the write gate here would deadlock, and
+// ordering with flushes is already guaranteed — the synchronous path runs
+// inside the put pipeline (gate held by the caller), and the APS path runs
+// from this region's own AUQ, which a flush drains to completion before
+// swapping the memtable.
+func (m *Manager) applyMutations(ctx cluster.RegionCtx, async bool, muts indexMutations) error {
+	var firstErr error
+	if len(muts.local) > 0 {
+		if err := ctx.Region.Store().ApplyBatchLocked(muts.local); err != nil {
+			firstErr = err
+		} else {
+			m.countIndexCells(muts.local, async)
+		}
+	}
+	if len(muts.global) > 0 {
+		conn := m.clientFor(ctx.Server.ID())
+		for table, cells := range muts.global {
+			if err := conn.MultiApply(table, cells); err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
 				continue
 			}
-			if async {
-				m.Counters.AsyncIndexPut.Inc()
-			} else {
-				m.Counters.IndexPut.Inc()
-			}
+			m.countIndexCells(cells, async)
 		}
 	}
 	return firstErr
+}
+
+// countIndexCells bumps the Table 2 counters for durably applied index cells.
+func (m *Manager) countIndexCells(cells []kv.Cell, async bool) {
+	var puts, dels int64
+	for _, c := range cells {
+		if c.Kind == kv.KindDelete {
+			dels++
+		} else {
+			puts++
+		}
+	}
+	if async {
+		m.Counters.AsyncIndexPut.Add(puts)
+		m.Counters.AsyncIndexDel.Add(dels)
+	} else {
+		m.Counters.IndexPut.Add(puts)
+		m.Counters.IndexDel.Add(dels)
+	}
+}
+
+// applyIndexUpdatesFor performs index maintenance for one base mutation
+// against the given indexes: compute the cells, then ship them batched.
+func (m *Manager) applyIndexUpdatesFor(ctx cluster.RegionCtx, t task, async bool, relevant []IndexDef) error {
+	muts, err := m.buildIndexMutations(ctx, t, async, relevant)
+	if err != nil {
+		return err
+	}
+	return m.applyMutations(ctx, async, muts)
+}
+
+// applyIndexBatch performs one attempt at the micro-batched Algorithm 4: it
+// builds the mutations of every task in the batch, coalesces them by
+// destination index table, and ships each table's cells in one MultiApply.
+// It returns nil only when EVERY task's cells are durable — the caller may
+// then mark all of them complete, preserving the drain-before-flush
+// invariant (a task's pending count drops only after its work is durable).
+func (m *Manager) applyIndexBatch(ctx cluster.RegionCtx, batch []task) error {
+	var all indexMutations
+	for _, t := range batch {
+		muts, err := m.buildIndexMutations(ctx, t, true, m.relevantIndexes(ctx, t))
+		if err != nil {
+			return err
+		}
+		all.merge(muts)
+	}
+	if all.empty() {
+		return nil
+	}
+	return m.applyMutations(ctx, true, all)
 }

@@ -141,7 +141,7 @@ func (o *observer) syncInsert(ctx cluster.RegionCtx, def IndexDef, t task) {
 	newKey := kv.IndexKey(newVal, t.row)
 	cell := kv.Cell{Key: newKey, Ts: t.ts, Kind: kv.KindPut}
 	conn := o.m.clientFor(ctx.Server.ID())
-	if err := conn.RawApply(def.Name(), newKey, []kv.Cell{cell}); err != nil {
+	if err := conn.MultiApply(def.Name(), []kv.Cell{cell}); err != nil {
 		// Degrade to eventual consistency through the AUQ (§6.2). The AUQ
 		// path also deletes the superseded entry, which is strictly more
 		// repair than sync-insert promises — harmless.

@@ -67,6 +67,7 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 	m.noteIndexRead(def.Name())
 
 	hits := make([]IndexHit, 0, len(entries))
+	var repairs []kv.Cell // stale entries to delete, shipped as one batch
 	for _, e := range entries {
 		val, row, err := kv.SplitIndexKey(e.Key)
 		if err != nil {
@@ -74,16 +75,31 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 		}
 		if def.Scheme == SyncInsert {
 			// SR2: double check. Read the base row's current indexed
-			// value; a mismatch means this entry is stale — delete it.
-			keep, err := m.doubleCheck(cl, def, val, row, e.Ts)
+			// value; a mismatch means this entry is stale — collect its
+			// delete for the batched repair below.
+			keep, err := m.doubleCheck(cl, def, val, row)
 			if err != nil {
 				return nil, err
 			}
 			if !keep {
+				repairs = append(repairs, kv.Cell{
+					Key:  append([]byte(nil), e.Key...),
+					Ts:   e.Ts,
+					Kind: kv.KindDelete,
+				})
 				continue
 			}
 		}
 		hits = append(hits, IndexHit{Row: append([]byte(nil), row...), Ts: e.Ts})
+	}
+	// Algorithm 2's clean step, region-batched: all stale entries found by
+	// this read are deleted with one Apply per destination region instead
+	// of one RPC each.
+	if len(repairs) > 0 {
+		if err := cl.MultiApply(def.Name(), repairs); err != nil {
+			return nil, err
+		}
+		m.Counters.IndexDel.Add(int64(len(repairs)))
 	}
 	return hits, nil
 }
@@ -116,10 +132,11 @@ func (m *Manager) readLocalIndex(cl *cluster.Client, def IndexDef, lo, hi []byte
 	return hits, nil
 }
 
-// doubleCheck implements the body of Algorithm 2's loop: compare the index
-// entry's value with the base table's current value for the row; delete the
-// entry at its own timestamp when stale.
-func (m *Manager) doubleCheck(cl *cluster.Client, def IndexDef, indexVal, row []byte, entryTs kv.Timestamp) (bool, error) {
+// doubleCheck implements the check half of Algorithm 2's loop: compare the
+// index entry's value with the base table's current value for the row. A
+// false result means the entry is stale; the caller batches its deletion
+// (the clean half) with every other stale entry found by the same read.
+func (m *Manager) doubleCheck(cl *cluster.Client, def IndexDef, indexVal, row []byte) (bool, error) {
 	cols := make(map[string][]byte, len(def.Columns))
 	for _, c := range def.Columns {
 		v, _, ok, err := cl.Get(def.Table, row, c)
@@ -132,17 +149,7 @@ func (m *Manager) doubleCheck(cl *cluster.Client, def IndexDef, indexVal, row []
 	}
 	m.Counters.BaseRead.Inc()
 	baseVal, ok := indexValue(def, cols)
-	if ok && bytes.Equal(baseVal, indexVal) {
-		return true, nil // up-to-date entry
-	}
-	// Stale: delete ⟨v_index ⊕ k, ts⟩ from the index table.
-	key := kv.IndexKey(indexVal, row)
-	cell := kv.Cell{Key: key, Ts: entryTs, Kind: kv.KindDelete}
-	if err := cl.RawApply(def.Name(), key, []kv.Cell{cell}); err != nil {
-		return false, err
-	}
-	m.Counters.IndexDel.Inc()
-	return false, nil
+	return ok && bytes.Equal(baseVal, indexVal), nil
 }
 
 // FetchRows resolves index hits to full base rows, preserving hit order.

@@ -237,27 +237,7 @@ func (s *Store) applyBatch(cells []kv.Cell) error {
 func (s *Store) apply(c kv.Cell) error {
 	s.writeGate.RLock()
 	defer s.writeGate.RUnlock()
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return ErrClosed
-	}
-	log, mem := s.log, s.mem
-	s.mu.RUnlock()
-
-	if err := log.Append(wal.Record{Key: c.Key, Value: c.Value, Ts: c.Ts, Kind: c.Kind}); err != nil {
-		return err
-	}
-	mem.Add(c)
-	if c.Kind == kv.KindDelete {
-		s.stats.deletes.Add(1)
-	} else {
-		s.stats.puts.Add(1)
-	}
-	if !s.opts.DisableAutoFlush && mem.ApproximateBytes() >= s.opts.MemtableBytes {
-		s.maybeScheduleFlush()
-	}
-	return nil
+	return s.applyBatch([]kv.Cell{c})
 }
 
 func (s *Store) maybeScheduleFlush() {

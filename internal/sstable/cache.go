@@ -2,6 +2,7 @@ package sstable
 
 import (
 	"container/list"
+	"hash/maphash"
 	"sync"
 )
 
@@ -10,7 +11,22 @@ import (
 // setup assigns 25% of the region-server heap to it (§8.1), and "read is
 // measured with a warmed block cache". Cached hits bypass the VFS and so
 // avoid the simulated disk latency.
+//
+// The cache is sharded: each key hashes to one of N independent shards,
+// each with its own mutex, LRU list and byte budget, so concurrent readers
+// on different blocks do not serialize on a single lock (the paper's
+// experiments run up to 320 closed-loop client threads against one block
+// cache; a global mutex is the first hot-path bottleneck at that scale).
+// Small caches collapse to a single shard so per-shard budgets stay large
+// enough to hold real blocks.
 type BlockCache struct {
+	capacity int64
+	shards   []*cacheShard
+	mask     uint64
+	seed     maphash.Seed
+}
+
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
@@ -30,98 +46,180 @@ type cacheEntry struct {
 	block []byte
 }
 
-// NewBlockCache returns a cache bounded to capacity bytes. A zero or
-// negative capacity disables caching (every lookup misses).
+const (
+	// defaultCacheShards is the shard count for full-size caches. Shard
+	// counts are powers of two so shard selection is a mask.
+	defaultCacheShards = 16
+	// minShardBytes is the smallest useful per-shard budget: caches too
+	// small to give every shard at least this much use fewer shards (down
+	// to one), preserving the eviction behaviour of a tiny unsharded cache.
+	minShardBytes = 128 << 10
+)
+
+// NewBlockCache returns a cache bounded to capacity bytes, sharded
+// defaultCacheShards ways (fewer for small capacities). A zero or negative
+// capacity disables caching (every lookup misses).
 func NewBlockCache(capacity int64) *BlockCache {
-	return &BlockCache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[cacheKey]*list.Element),
+	shards := defaultCacheShards
+	for shards > 1 && capacity/int64(shards) < minShardBytes {
+		shards /= 2
 	}
+	return NewBlockCacheShards(capacity, shards)
+}
+
+// NewBlockCacheShards returns a cache bounded to capacity bytes split across
+// the given number of shards (rounded down to a power of two, minimum 1).
+// Benchmarks use shards=1 to reproduce the historical single-mutex cache.
+func NewBlockCacheShards(capacity int64, shards int) *BlockCache {
+	if shards < 1 {
+		shards = 1
+	}
+	// Round down to a power of two so shardFor can mask instead of mod.
+	for shards&(shards-1) != 0 {
+		shards &= shards - 1
+	}
+	c := &BlockCache{
+		capacity: capacity,
+		shards:   make([]*cacheShard, shards),
+		mask:     uint64(shards - 1),
+		seed:     maphash.MakeSeed(),
+	}
+	per := capacity / int64(shards)
+	rem := capacity % int64(shards)
+	for i := range c.shards {
+		budget := per
+		if int64(i) < rem {
+			budget++
+		}
+		c.shards[i] = &cacheShard{
+			capacity: budget,
+			ll:       list.New(),
+			items:    make(map[cacheKey]*list.Element),
+		}
+	}
+	return c
+}
+
+// shardFor hashes (table, offset) to a shard.
+func (c *BlockCache) shardFor(table string, offset uint64) *cacheShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(table)
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(offset >> (8 * i))
+	}
+	h.Write(buf[:])
+	return c.shards[h.Sum64()&c.mask]
 }
 
 // Get returns the cached block for (table, offset), or nil on a miss.
+//
+// The returned slice aliases the cache's copy of the block — it is shared
+// with every other reader of the same block. Callers MUST treat it as
+// read-only; mutating it would corrupt the block for all future readers.
+// (sstable.Reader only ever decodes from it, never writes into it.)
 func (c *BlockCache) Get(table string, offset uint64) []byte {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[cacheKey{table, offset}]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
+	s := c.shardFor(table, offset)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[cacheKey{table, offset}]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
 		return el.Value.(*cacheEntry).block
 	}
-	c.misses++
+	s.misses++
 	return nil
 }
 
-// Put inserts a block, evicting least-recently-used blocks to stay within
-// capacity. Blocks larger than the whole cache are not inserted.
+// Put inserts a block, evicting least-recently-used blocks of its shard to
+// stay within the shard's byte budget. Blocks larger than a whole shard are
+// not inserted. The cache takes ownership of block: callers must not mutate
+// it after Put (the same read-only contract as Get).
 func (c *BlockCache) Put(table string, offset uint64, block []byte) {
-	if c == nil || c.capacity <= 0 || int64(len(block)) > c.capacity {
+	if c == nil || c.capacity <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(table, offset)
+	if int64(len(block)) > s.capacity {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := cacheKey{table, offset}
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.used += int64(len(block)) - int64(len(el.Value.(*cacheEntry).block))
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.used += int64(len(block)) - int64(len(el.Value.(*cacheEntry).block))
 		el.Value.(*cacheEntry).block = block
 	} else {
-		el := c.ll.PushFront(&cacheEntry{key: key, block: block})
-		c.items[key] = el
-		c.used += int64(len(block))
+		el := s.ll.PushFront(&cacheEntry{key: key, block: block})
+		s.items[key] = el
+		s.used += int64(len(block))
 	}
-	for c.used > c.capacity {
-		tail := c.ll.Back()
+	for s.used > s.capacity {
+		tail := s.ll.Back()
 		if tail == nil {
 			break
 		}
 		ent := tail.Value.(*cacheEntry)
-		c.ll.Remove(tail)
-		delete(c.items, ent.key)
-		c.used -= int64(len(ent.block))
+		s.ll.Remove(tail)
+		delete(s.items, ent.key)
+		s.used -= int64(len(ent.block))
 	}
 }
 
 // DropTable evicts every block belonging to the named table — called when a
-// table file is deleted after compaction.
+// table file is deleted after compaction. The drop fans out across shards.
 func (c *BlockCache) DropTable(table string) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		ent := el.Value.(*cacheEntry)
-		if ent.key.table == table {
-			c.ll.Remove(el)
-			delete(c.items, ent.key)
-			c.used -= int64(len(ent.block))
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			ent := el.Value.(*cacheEntry)
+			if ent.key.table == table {
+				s.ll.Remove(el)
+				delete(s.items, ent.key)
+				s.used -= int64(len(ent.block))
+			}
+			el = next
 		}
-		el = next
+		s.mu.Unlock()
 	}
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts, rolled up across shards.
 func (c *BlockCache) Stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, s := range c.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
-// Used returns the current cached byte total.
+// Used returns the current cached byte total across all shards.
 func (c *BlockCache) Used() int64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	var used int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		used += s.used
+		s.mu.Unlock()
+	}
+	return used
 }
+
+// ShardCount returns the number of independent shards.
+func (c *BlockCache) ShardCount() int { return len(c.shards) }

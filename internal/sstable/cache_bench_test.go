@@ -1,0 +1,50 @@
+package sstable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchmarkCacheParallel drives a mixed Get/Put workload (≈94% gets) from
+// b.RunParallel goroutines against a cache with the given shard count.
+// shards=1 reproduces the historical single-mutex BlockCache; comparing it
+// with the default shard count at -cpu 8 (or higher) shows the contention
+// the sharding removes:
+//
+//	go test ./internal/sstable -bench BlockCacheParallel -cpu 1,8
+func benchmarkCacheParallel(b *testing.B, shards int) {
+	const (
+		capacity  = 32 << 20
+		blockSize = 4 << 10
+		blocks    = 4096 // half-resident working set: evictions stay active
+		tables    = 8
+	)
+	c := NewBlockCacheShards(capacity, shards)
+	block := make([]byte, blockSize)
+	for i := 0; i < blocks; i++ {
+		c.Put(fmt.Sprintf("t%d", i%tables), uint64(i), block)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			i := rng.Intn(blocks)
+			table := fmt.Sprintf("t%d", i%tables)
+			if i%16 == 0 {
+				c.Put(table, uint64(i), block)
+			} else {
+				c.Get(table, uint64(i))
+			}
+		}
+	})
+}
+
+func BenchmarkBlockCacheParallel(b *testing.B) {
+	for _, shards := range []int{1, defaultCacheShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkCacheParallel(b, shards)
+		})
+	}
+}

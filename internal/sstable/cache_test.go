@@ -1,0 +1,189 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+// TestBlockCacheSharding checks shard-count selection: full-size caches get
+// defaultCacheShards, tiny caches collapse to one shard so their per-shard
+// budget stays useful, and explicit shard counts round down to powers of two.
+func TestBlockCacheSharding(t *testing.T) {
+	if got := NewBlockCache(32 << 20).ShardCount(); got != defaultCacheShards {
+		t.Errorf("32 MiB cache: ShardCount = %d, want %d", got, defaultCacheShards)
+	}
+	if got := NewBlockCache(100).ShardCount(); got != 1 {
+		t.Errorf("100 B cache: ShardCount = %d, want 1", got)
+	}
+	if got := NewBlockCacheShards(1<<20, 5).ShardCount(); got != 4 {
+		t.Errorf("shards=5 rounds to %d, want 4", got)
+	}
+	if got := NewBlockCacheShards(1<<20, 0).ShardCount(); got != 1 {
+		t.Errorf("shards=0 rounds to %d, want 1", got)
+	}
+}
+
+// TestBlockCacheShardBudgets checks the eviction invariants of a sharded
+// cache: each shard respects its own byte budget, the budgets sum to the
+// configured capacity, and the aggregate Used never exceeds capacity — even
+// after inserting far more data than fits.
+func TestBlockCacheShardBudgets(t *testing.T) {
+	const capacity = 64 << 10
+	c := NewBlockCacheShards(capacity, 4)
+	if c.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d", c.ShardCount())
+	}
+	var budgets int64
+	for _, s := range c.shards {
+		budgets += s.capacity
+	}
+	if budgets != capacity {
+		t.Fatalf("shard budgets sum to %d, want %d", budgets, capacity)
+	}
+
+	// Insert 4x the capacity in 1 KiB blocks across many tables.
+	block := make([]byte, 1<<10)
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("t%02d", i%8), uint64(i), block)
+	}
+	if used := c.Used(); used > capacity {
+		t.Errorf("aggregate Used = %d exceeds capacity %d", used, capacity)
+	}
+	for i, s := range c.shards {
+		s.mu.Lock()
+		used, budget := s.used, s.capacity
+		var sum int64
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			sum += int64(len(el.Value.(*cacheEntry).block))
+		}
+		n := len(s.items)
+		ln := s.ll.Len()
+		s.mu.Unlock()
+		if used > budget {
+			t.Errorf("shard %d: used %d exceeds budget %d", i, used, budget)
+		}
+		if sum != used {
+			t.Errorf("shard %d: accounted bytes %d != resident bytes %d", i, used, sum)
+		}
+		if n != ln {
+			t.Errorf("shard %d: map size %d != list size %d", i, n, ln)
+		}
+	}
+}
+
+// TestBlockCacheConcurrentStress hammers Get/Put/DropTable/Stats/Used from
+// parallel goroutines across shards. It is meaningful mainly under -race
+// (ci.sh runs internal/... with -race); the final invariant check guards
+// against lost accounting too.
+func TestBlockCacheConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 2000
+		tables  = 4
+	)
+	c := NewBlockCacheShards(256<<10, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			block := make([]byte, 512+w)
+			for i := 0; i < ops; i++ {
+				table := fmt.Sprintf("t%d", (w+i)%tables)
+				off := uint64(i % 97)
+				switch i % 7 {
+				case 0:
+					c.Put(table, off, block)
+				case 3:
+					c.DropTable(table)
+				case 5:
+					c.Stats()
+					c.Used()
+				default:
+					c.Get(table, off)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if used := c.Used(); used < 0 || used > 256<<10 {
+		t.Errorf("Used = %d out of [0, capacity]", used)
+	}
+	hits, misses := c.Stats()
+	if hits+misses <= 0 {
+		t.Errorf("stats lost: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestBlockCacheGetAliasing pins the read-only contract of Get: the returned
+// slice aliases the cached block, so reads through sstable.Reader must leave
+// cached bytes bit-identical. The test snapshots a cached block, drives many
+// reader operations that hit that block, and asserts the cache's copy never
+// changed.
+func TestBlockCacheGetAliasing(t *testing.T) {
+	fs := vfs.NewLatencyFS(vfs.NewMemFS(), vfs.LatencyProfile{})
+	var cells []kv.Cell
+	for i := 0; i < 200; i++ {
+		cells = append(cells, kv.Cell{
+			Key:   []byte(fmt.Sprintf("k%04d", i)),
+			Value: bytes.Repeat([]byte{byte(i)}, 32),
+			Ts:    1,
+		})
+	}
+	buildTable(t, fs, "alias.sst", cells)
+
+	cache := NewBlockCache(1 << 20)
+	r, err := Open(fs, "alias.sst", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Warm the cache, then snapshot every cached block.
+	for i := 0; i < 200; i += 10 {
+		if _, ok, _ := r.Get([]byte(fmt.Sprintf("k%04d", i)), kv.MaxTimestamp); !ok {
+			t.Fatalf("k%04d missing", i)
+		}
+	}
+	type snap struct {
+		key   cacheKey
+		block []byte
+	}
+	var snaps []snap
+	for _, s := range cache.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			ent := el.Value.(*cacheEntry)
+			snaps = append(snaps, snap{ent.key, append([]byte(nil), ent.block...)})
+		}
+		s.mu.Unlock()
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no blocks cached")
+	}
+
+	// Exercise every reader path that touches cached blocks.
+	for i := 0; i < 200; i++ {
+		r.Get([]byte(fmt.Sprintf("k%04d", i)), kv.MaxTimestamp)
+	}
+	it := r.Iterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		_ = it.Cell()
+	}
+	it.Seek(kv.SeekKey([]byte("k0100"), kv.MaxTimestamp))
+
+	for _, s := range snaps {
+		got := cache.Get(s.key.table, s.key.offset)
+		if got == nil {
+			continue // evicted is fine; mutated is not
+		}
+		if !bytes.Equal(got, s.block) {
+			t.Fatalf("cached block (%s, %d) mutated by a reader", s.key.table, s.key.offset)
+		}
+	}
+}

@@ -198,21 +198,10 @@ func replaySegment(fs vfs.FS, name string, replay func(Record)) error {
 }
 
 // Append durably appends a record (the write is synced before returning, the
-// durability point of a put in §2.2).
+// durability point of a put in §2.2). It is a single-record AppendBatch;
+// every append goes through the same group-commit path.
 func (l *Log) Append(r Record) error {
-	buf := encodeRecord(r)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
-	}
-	if _, err := l.seg.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if err := l.seg.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
-	}
-	return nil
+	return l.AppendBatch([]Record{r})
 }
 
 // AppendBatch appends several records with a single sync, amortizing the
