@@ -11,6 +11,11 @@
 #   4. go test ./...    — full test suite (tier-1)
 #   5. go test -race ./internal/...  — concurrency-heavy packages under the
 #      race detector (block cache, AUQ/APS, cluster, LSM)
+#   6. go test -race -run Metrics    — the observability subsystem (registry,
+#      histogram snapshot consistency, tracer) under the race detector at
+#      the root package too, plus the golden-file guard that
+#      MetricsSnapshot marshals to stable JSON (TestMetricsSnapshotStableJSONGolden;
+#      refresh the golden with `go test ./internal/metrics -run Golden -update-golden`)
 set -eu
 cd "$(dirname "$0")"
 
@@ -33,5 +38,8 @@ go test ./...
 
 echo "== go test -race (internal) =="
 go test -race ./internal/...
+
+echo "== go test -race -run Metrics (observability + golden file) =="
+go test -race -run Metrics ./...
 
 echo "CI PASSED"

@@ -7,6 +7,14 @@
 //
 //	diffbench [-experiment all|<id>] [-profile small|paper]
 //	          [-format table|csv] [-list]
+//	          [-metrics <interval>] [-metrics-http <addr>]
+//
+// -metrics streams the live cluster's metrics registry to stderr as one
+// JSON line per interval while experiments run; -metrics-http serves the
+// same registry (plus /slowops) over HTTP for watching a long run, e.g.
+//
+//	diffbench -experiment fig7 -metrics-http localhost:8125 &
+//	curl -s localhost:8125/metrics | head
 //
 // Absolute latencies come from the calibrated ms-scale simulation (disk
 // seeks, LAN RPCs); the reports carry notes comparing each measured shape
@@ -18,6 +26,8 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -26,12 +36,28 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID, or 'all'")
-		profile    = flag.String("profile", "small", "environment profile: small | paper")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		format     = flag.String("format", "table", "output format: table | csv")
+		experiment  = flag.String("experiment", "all", "experiment ID, or 'all'")
+		profile     = flag.String("profile", "small", "environment profile: small | paper")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		format      = flag.String("format", "table", "output format: table | csv")
+		metricsInt  = flag.Duration("metrics", 0, "stream live metrics JSON to stderr every interval (0 disables)")
+		metricsHTTP = flag.String("metrics-http", "", "serve live metrics over HTTP on this address (e.g. localhost:8125)")
 	)
 	flag.Parse()
+
+	if *metricsInt > 0 {
+		stop := bench.StartLiveMetricsDump(os.Stderr, *metricsInt)
+		defer stop()
+	}
+	if *metricsHTTP != "" {
+		ln, err := net.Listen("tcp", *metricsHTTP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-http: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /slowops\n", ln.Addr())
+		go http.Serve(ln, bench.LiveMetricsHandler())
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

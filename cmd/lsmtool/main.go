@@ -7,23 +7,35 @@
 //
 // Usage:
 //
-//	lsmtool [-rows 2000] [-versions 3]
+//	lsmtool [-rows 2000] [-versions 3] [-stats]
+//
+// -stats attaches a metrics registry to the store and, after the
+// walkthrough, dumps every instrument (WAL append counters, per-stage
+// latency histograms with p50/p95/p99.9) as stable JSON — the same registry
+// layout DB.MetricsSnapshot exposes for a full cluster.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"diffindex/internal/kv"
 	"diffindex/internal/lsm"
+	"diffindex/internal/metrics"
 	"diffindex/internal/vfs"
 )
 
 func main() {
 	rows := flag.Int("rows", 2000, "rows to write per stage")
 	versions := flag.Int("versions", 3, "versions retained at compaction")
+	stats := flag.Bool("stats", false, "dump the store's metrics registry as JSON at the end")
 	flag.Parse()
 
+	var reg *metrics.Registry
+	if *stats {
+		reg = metrics.NewRegistry()
+	}
 	fs := vfs.NewMemFS()
 	store, err := lsm.Open(lsm.Options{
 		FS:                 fs,
@@ -31,6 +43,8 @@ func main() {
 		MaxVersions:        *versions,
 		DisableAutoFlush:   true,
 		DisableAutoCompact: true,
+		Metrics:            reg,
+		MetricsTable:       "demo",
 	})
 	if err != nil {
 		panic(err)
@@ -106,4 +120,14 @@ func main() {
 
 	res, _ := store.Scan([]byte("row00000190"), []byte("row00000210"), kv.MaxTimestamp, 0)
 	fmt.Printf("scan across the delete boundary returned %d rows\n", len(res))
+
+	if reg != nil {
+		buf, err := reg.Snapshot().MarshalStableJSON()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("\n--- metrics registry ---")
+		os.Stdout.Write(buf)
+		fmt.Println()
+	}
 }

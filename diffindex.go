@@ -31,6 +31,7 @@ import (
 	"diffindex/internal/cluster"
 	"diffindex/internal/core"
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 	"diffindex/internal/simnet"
 	"diffindex/internal/vfs"
 )
@@ -115,6 +116,14 @@ type Options struct {
 	// index updates. Exists only for the ablation experiment that
 	// demonstrates why the protocol is needed.
 	UnsafeDisableDrainOnFlush bool
+
+	// DisableTracing turns off per-operation traces (the op-latency
+	// histograms and the slow-op log). Stage and counter metrics still
+	// record; see DESIGN.md's Observability section for what each costs.
+	DisableTracing bool
+	// SlowOpLog sizes the slow-operation log: the K slowest operations are
+	// retained with their per-stage latency breakdowns (default 32).
+	SlowOpLog int
 }
 
 // DB is a Diff-Index-enabled distributed store: the cluster plus the index
@@ -138,6 +147,8 @@ func Open(opts Options) *DB {
 		MemtableBytes:       opts.MemtableBytes,
 		MaxVersions:         opts.MaxVersions,
 		CompactionThreshold: opts.CompactionThreshold,
+		DisableTracing:      opts.DisableTracing,
+		SlowOpK:             opts.SlowOpLog,
 	})
 	m := core.NewManager(c, core.ManagerOptions{
 		QueueCapacity:        opts.AUQCapacity,
@@ -287,16 +298,20 @@ type HotPathStats struct {
 	APSBatchMean           float64
 }
 
-// HotPathStats returns a snapshot of the hot-path batching counters.
+// HotPathStats returns a snapshot of the hot-path batching counters, read
+// from the metrics registry (the same instruments MetricsSnapshot reports).
 func (db *DB) HotPathStats() HotPathStats {
+	reg := db.c.Metrics()
 	var s HotPathStats
 	for _, id := range db.c.ServerIDs() {
-		h, m := db.c.Server(id).CacheStats()
-		s.CacheHits += h
-		s.CacheMisses += m
+		hits, _ := reg.Value("diffindex_block_cache_hits", metrics.L("server", id))
+		misses, _ := reg.Value("diffindex_block_cache_misses", metrics.L("server", id))
+		s.CacheHits += hits
+		s.CacheMisses += misses
 	}
-	s.ApplyRPCs, s.ApplyCells = db.m.ApplyStats()
-	s.APSBatchMean = db.m.APSBatchSizes().Mean()
+	s.ApplyRPCs, _ = reg.Value("diffindex_apply_rpcs_total")
+	s.ApplyCells, _ = reg.Value("diffindex_apply_cells_total")
+	s.APSBatchMean = reg.Histogram("diffindex_aps_batch_size").Mean()
 	return s
 }
 

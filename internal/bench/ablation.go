@@ -25,7 +25,7 @@ func AblationDrain(p Profile) (Report, error) {
 	for _, drain := range []bool{true, false} {
 		opts := p.Options()
 		opts.UnsafeDisableDrainOnFlush = !drain
-		db := diffindex.Open(opts)
+		db := registerDB(diffindex.Open(opts))
 		if err := workload.Setup(db, p.Records, p.RegionsPerTable, int(diffindex.AsyncSimple), -1, p.LoaderThreads); err != nil {
 			db.Close()
 			return Report{}, err
@@ -139,7 +139,7 @@ func AblationBlockCache(p Profile) (Report, error) {
 		if !cached {
 			opts.BlockCacheBytes = -1 // force every block read to disk
 		}
-		db := diffindex.Open(opts)
+		db := registerDB(diffindex.Open(opts))
 		if err := workload.Setup(db, p.Records, p.RegionsPerTable, int(diffindex.SyncFull), -1, p.LoaderThreads); err != nil {
 			db.Close()
 			return Report{}, err
@@ -177,7 +177,7 @@ func AblationQueueCapacity(p Profile) (Report, error) {
 		opts.AUQCapacity = capacity
 		// A single slow worker makes the queue the bottleneck.
 		opts.APSWorkers = 1
-		db := diffindex.Open(opts)
+		db := registerDB(diffindex.Open(opts))
 		if err := workload.Setup(db, p.Records, p.RegionsPerTable, int(diffindex.AsyncSimple), -1, p.LoaderThreads); err != nil {
 			db.Close()
 			return Report{}, err

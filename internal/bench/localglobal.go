@@ -29,7 +29,7 @@ func LocalVsGlobal(p Profile) (Report, error) {
 			prof := p
 			prof.Servers = servers
 			prof.RegionsPerTable = servers
-			db := diffindex.Open(prof.Options())
+			db := registerDB(diffindex.Open(prof.Options()))
 			if err := db.CreateTable(workload.TableName, workload.TableSplits(prof.Records, prof.RegionsPerTable)); err != nil {
 				db.Close()
 				return Report{}, err

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"diffindex"
+)
+
+// liveDB tracks the DB of the currently running experiment, so diffbench's
+// -metrics / -metrics-http flags can observe whichever cluster is live at
+// the moment. Experiments open and close many DBs; the pointer always holds
+// the most recently opened one (nil between experiments).
+var liveDB atomic.Pointer[diffindex.DB]
+
+// registerDB publishes db as the live benchmark DB and returns it, so Open
+// call sites can wrap in place.
+func registerDB(db *diffindex.DB) *diffindex.DB {
+	liveDB.Store(db)
+	return db
+}
+
+// LiveMetricsHandler serves the live DB's metrics endpoint; it returns 503
+// while no experiment has a cluster open.
+func LiveMetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		db := liveDB.Load()
+		if db == nil {
+			http.Error(w, "no experiment running", http.StatusServiceUnavailable)
+			return
+		}
+		db.MetricsHandler().ServeHTTP(w, r)
+	})
+}
+
+// StartLiveMetricsDump writes the live DB's registry snapshot to w as one
+// JSON line per interval (skipping ticks where no DB is open) until stop is
+// called. It layers DB.StartMetricsDump over the rotating liveDB pointer.
+func StartLiveMetricsDump(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var cur *diffindex.DB
+		var curStop func()
+		for {
+			select {
+			case <-done:
+				if curStop != nil {
+					curStop()
+				}
+				return
+			case <-ticker.C:
+				db := liveDB.Load()
+				if db == cur {
+					continue
+				}
+				if curStop != nil {
+					curStop()
+				}
+				cur, curStop = db, nil
+				if db != nil {
+					curStop = db.StartMetricsDump(w, interval)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

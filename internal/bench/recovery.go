@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"diffindex"
+	"diffindex/internal/metrics"
 	"diffindex/internal/workload"
 )
 
@@ -38,6 +39,14 @@ func Recovery(p Profile) (Report, error) {
 	}
 	r.AddRow("flush, empty AUQ (ms)", msDur(emptyFlush))
 	r.AddRow(fmt.Sprintf("flush, after %d-update burst (ms)", burstN), msDur(loadedFlush))
+	// The observability registry counts every pre-flush drain and the tasks
+	// it waited out — the same numbers a live cluster exposes via
+	// diffindex_flush_drains_total / diffindex_flush_drain_tasks_total.
+	c, _ := db.Internal()
+	drains, _ := c.Metrics().Value("diffindex_flush_drains_total", metrics.L("table", workload.TableName))
+	drained, _ := c.Metrics().Value("diffindex_flush_drain_tasks_total", metrics.L("table", workload.TableName))
+	r.AddRow("pre-flush AUQ drains (count)", fmt.Sprint(drains))
+	r.AddRow("tasks awaited across drains", fmt.Sprint(drained))
 	r.AddNote("the loaded flush includes draining the AUQ; the paper argues this delay is acceptable in practice")
 	db.Close()
 

@@ -12,7 +12,7 @@ import (
 // titleScheme ≥ 0) a title index of the given scheme, loads the records and
 // flushes so reads are disk-bound.
 func setupDB(p Profile, titleScheme, priceScheme int) (*diffindex.DB, error) {
-	db := diffindex.Open(p.Options())
+	db := registerDB(diffindex.Open(p.Options()))
 	if err := workload.Setup(db, p.Records, p.RegionsPerTable, titleScheme, priceScheme, p.LoaderThreads); err != nil {
 		db.Close()
 		return nil, err

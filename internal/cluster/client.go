@@ -34,6 +34,9 @@ type Client struct {
 
 	// stats, when set, counts Apply RPC fan-out (see ApplyStats).
 	stats *ApplyStats
+
+	// tracer mints per-operation traces (shared with the whole cluster).
+	tracer *metrics.Tracer
 }
 
 // SetApplyStats attaches a (possibly shared) fan-out counter to the client.
@@ -50,7 +53,7 @@ func (cl *Client) countApply(n int) {
 
 // NewClient returns a client with the given simnet node name.
 func NewClient(c *Cluster, name string) *Client {
-	return &Client{name: name, cluster: c, routes: make(map[string][]RegionInfo)}
+	return &Client{name: name, cluster: c, routes: make(map[string][]RegionInfo), tracer: c.tracer}
 }
 
 // Name returns the client's node name.
@@ -149,11 +152,13 @@ func (cl *Client) PutWithOld(table string, row []byte, cols map[string][]byte) (
 }
 
 func (cl *Client) put(table string, row []byte, cols map[string][]byte, wantOld bool) (kv.Timestamp, map[string][]byte, error) {
+	tr := cl.tracer.Start("put", table)
+	defer cl.tracer.Finish(tr)
 	var ts kv.Timestamp
 	var old map[string][]byte
 	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
 		var err error
-		ts, old, err = s.PutRow(ri.ID, row, cols, wantOld)
+		ts, old, err = s.PutRow(ri.ID, row, cols, wantOld, tr)
 		return err
 	})
 	return ts, old, err
@@ -162,10 +167,12 @@ func (cl *Client) put(table string, row []byte, cols map[string][]byte, wantOld 
 // Delete tombstones the given columns of a row (all columns when cols is
 // nil), returning the delete timestamp.
 func (cl *Client) Delete(table string, row []byte, cols []string) (kv.Timestamp, error) {
+	tr := cl.tracer.Start("delete", table)
+	defer cl.tracer.Finish(tr)
 	var ts kv.Timestamp
 	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
 		var err error
-		ts, err = s.DeleteRow(ri.ID, row, cols)
+		ts, err = s.DeleteRow(ri.ID, row, cols, tr)
 		return err
 	})
 	return ts, err
@@ -179,6 +186,8 @@ func (cl *Client) Get(table string, row []byte, col string) ([]byte, kv.Timestam
 
 // GetAt reads one column of a row as of timestamp ts.
 func (cl *Client) GetAt(table string, row []byte, col string, ts kv.Timestamp) ([]byte, kv.Timestamp, bool, error) {
+	tr := cl.tracer.Start("get", table)
+	defer cl.tracer.Finish(tr)
 	var val []byte
 	var cellTs kv.Timestamp
 	var ok bool
@@ -200,6 +209,8 @@ func (cl *Client) GetAt(table string, row []byte, col string, ts kv.Timestamp) (
 // GetRow reads all columns of a row at the latest timestamp. A nil map
 // means the row has no visible columns.
 func (cl *Client) GetRow(table string, row []byte) (map[string][]byte, error) {
+	tr := cl.tracer.Start("get-row", table)
+	defer cl.tracer.Finish(tr)
 	prefix := kv.RowPrefix(row)
 	var cols map[string][]byte
 	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
@@ -272,6 +283,8 @@ func (cl *Client) forEachRegion(table string, start, end []byte, fn func(ri Regi
 // Scan reads rows with keys in [startRow, endRow) (nil bounds are open),
 // visiting regions in key order, up to limit rows (limit ≤ 0 = unlimited).
 func (cl *Client) Scan(table string, startRow, endRow []byte, limit int) ([]Row, error) {
+	tr := cl.tracer.Start("scan", table)
+	defer cl.tracer.Finish(tr)
 	var rows []Row
 	var curKey []byte
 	var curCols map[string][]byte

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 	"diffindex/internal/simnet"
 	"diffindex/internal/vfs"
 )
@@ -53,6 +54,15 @@ type Config struct {
 	// CompactionThreshold is the table count triggering compaction.
 	// Defaults to 4.
 	CompactionThreshold int
+	// Metrics is the registry every layer of the cluster records into. A
+	// nil value gets a fresh registry, so metrics are always on; the
+	// registry is lock-free on the hot path.
+	Metrics *metrics.Registry
+	// DisableTracing turns off per-operation traces (the slow-op log and
+	// op-latency histograms); stage histograms still record.
+	DisableTracing bool
+	// SlowOpK is the size of the slow-op log. Defaults to 32.
+	SlowOpK int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +72,12 @@ func (c Config) withDefaults() Config {
 	if c.BlockCacheBytes == 0 {
 		c.BlockCacheBytes = 32 << 20
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.SlowOpK <= 0 {
+		c.SlowOpK = 32
+	}
 	return c
 }
 
@@ -70,6 +86,11 @@ type RegionCtx struct {
 	Region  *Region
 	Server  *RegionServer
 	Cluster *Cluster
+	// Trace is the trace of the client operation that triggered the
+	// callback (nil when tracing is disabled or the callback has no
+	// originating operation, e.g. PreFlush). Coprocessors add their stage
+	// durations to it.
+	Trace *metrics.Trace
 }
 
 // Coprocessor is the per-table server-side extension point, mirroring
@@ -113,6 +134,9 @@ type Cluster struct {
 	servers map[string]*RegionServer
 	coprocs map[string]Coprocessor // by table name
 
+	metrics *metrics.Registry
+	tracer  *metrics.Tracer
+
 	// clock issues write timestamps. The paper uses each region server's
 	// System.currentTimeMillis (NTP-synchronized wall clocks); a single
 	// shared counter is the deterministic logical equivalent and keeps
@@ -131,6 +155,8 @@ func New(cfg Config) *Cluster {
 		servers: make(map[string]*RegionServer),
 		coprocs: make(map[string]Coprocessor),
 		clock:   kv.NewClock(1),
+		metrics: cfg.Metrics,
+		tracer:  metrics.NewTracer(cfg.Metrics, cfg.SlowOpK, cfg.DisableTracing),
 	}
 	c.Master = newMaster(c)
 	for i := 0; i < cfg.Servers; i++ {
@@ -147,6 +173,13 @@ func (c *Cluster) RegisterCoprocessor(table string, cp Coprocessor) {
 }
 
 func (c *Cluster) coprocessor(table string) Coprocessor { return c.coprocs[table] }
+
+// Metrics returns the cluster-wide metrics registry: the single source of
+// truth every layer (WAL, LSM stores, index runtime, clients) records into.
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// Tracer mints the per-operation traces for this cluster's clients.
+func (c *Cluster) Tracer() *metrics.Tracer { return c.tracer }
 
 // Server returns a region server by ID (nil if unknown).
 func (c *Cluster) Server(id string) *RegionServer { return c.servers[id] }

@@ -329,7 +329,7 @@ func TestCrashedServerRejectsOps(t *testing.T) {
 	server := c.Server(ri.Server)
 	c.Master.CrashServer(ri.Server)
 
-	if _, _, err := server.PutRow(ri.ID, []byte("k"), map[string][]byte{"a": nil}, false); !errors.Is(err, ErrServerDown) {
+	if _, _, err := server.PutRow(ri.ID, []byte("k"), map[string][]byte{"a": nil}, false, nil); !errors.Is(err, ErrServerDown) {
 		t.Errorf("PutRow on crashed server: %v", err)
 	}
 	if _, _, err := server.Get(ri.ID, []byte("k"), kv.MaxTimestamp); !errors.Is(err, ErrServerDown) {

@@ -8,6 +8,7 @@ import (
 
 	"diffindex/internal/kv"
 	"diffindex/internal/lsm"
+	"diffindex/internal/metrics"
 	"diffindex/internal/sstable"
 )
 
@@ -26,12 +27,23 @@ type RegionServer struct {
 }
 
 func newRegionServer(c *Cluster, id string) *RegionServer {
-	return &RegionServer{
+	s := &RegionServer{
 		id:      id,
 		cluster: c,
 		cache:   sstable.NewBlockCache(c.cfg.BlockCacheBytes),
 		regions: make(map[string]*Region),
 	}
+	// Computed gauges read through CacheStats so they keep reporting the
+	// replacement cache after a crash.
+	c.metrics.RegisterGaugeFunc("diffindex_block_cache_hits", func() int64 {
+		hits, _ := s.CacheStats()
+		return hits
+	}, metrics.L("server", id))
+	c.metrics.RegisterGaugeFunc("diffindex_block_cache_misses", func() int64 {
+		_, misses := s.CacheStats()
+		return misses
+	}, metrics.L("server", id))
+	return s
 }
 
 // ID returns the server's node name (also its simnet address).
@@ -83,6 +95,8 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 		MaxVersions:         s.cluster.cfg.MaxVersions,
 		CompactionThreshold: s.cluster.cfg.CompactionThreshold,
 		BlockCache:          cache,
+		Metrics:             s.cluster.metrics,
+		MetricsTable:        info.Table,
 		OnReplay: func(c kv.Cell) {
 			s.cluster.clock.Observe(c.Ts)
 			replayed = append(replayed, c.Clone())
@@ -163,8 +177,10 @@ func (s *RegionServer) FreezeRegion(id string) error {
 // logs and applies the cells, then invokes the table's coprocessor (the
 // synchronous part of index maintenance runs inside this RPC). When wantOld
 // is set the previous visible row values (at ts−δ) are returned — the hook
-// async-session uses to build client-side delete markers (§5.2).
-func (s *RegionServer) PutRow(regionID string, row []byte, cols map[string][]byte, wantOld bool) (kv.Timestamp, map[string][]byte, error) {
+// async-session uses to build client-side delete markers (§5.2). tr, when
+// non-nil, is the client operation's trace; the store and the coprocessor
+// add their stage durations to it.
+func (s *RegionServer) PutRow(regionID string, row []byte, cols map[string][]byte, wantOld bool, tr *metrics.Trace) (kv.Timestamp, map[string][]byte, error) {
 	region, err := s.region(regionID)
 	if err != nil {
 		return 0, nil, err
@@ -188,11 +204,11 @@ func (s *RegionServer) PutRow(regionID string, row []byte, cols map[string][]byt
 	// invariant of §5.3). Index maintenance failures never fail the base put
 	// (§6.2): the observer queues retries itself.
 	err = region.store.Pipeline(func() error {
-		if err := region.store.ApplyBatchLocked(cells); err != nil {
+		if err := region.store.ApplyBatchLocked(cells, tr); err != nil {
 			return err
 		}
 		if cp := s.cluster.coprocessor(region.Info.Table); cp != nil {
-			ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster}
+			ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster, Trace: tr}
 			_ = cp.PostPut(ctx, row, cols, ts)
 		}
 		return nil
@@ -206,7 +222,7 @@ func (s *RegionServer) PutRow(regionID string, row []byte, cols map[string][]byt
 // DeleteRow tombstones the given columns of a row (all currently visible
 // columns when cols is nil), then invokes the coprocessor. Deletion is
 // handled like a put of a tombstone (§4.3).
-func (s *RegionServer) DeleteRow(regionID string, row []byte, cols []string) (kv.Timestamp, error) {
+func (s *RegionServer) DeleteRow(regionID string, row []byte, cols []string, tr *metrics.Trace) (kv.Timestamp, error) {
 	region, err := s.region(regionID)
 	if err != nil {
 		return 0, err
@@ -226,11 +242,11 @@ func (s *RegionServer) DeleteRow(regionID string, row []byte, cols []string) (kv
 		cells = append(cells, kv.Cell{Key: kv.BaseKey(row, []byte(col)), Ts: ts, Kind: kv.KindDelete})
 	}
 	err = region.store.Pipeline(func() error {
-		if err := region.store.ApplyBatchLocked(cells); err != nil {
+		if err := region.store.ApplyBatchLocked(cells, tr); err != nil {
 			return err
 		}
 		if cp := s.cluster.coprocessor(region.Info.Table); cp != nil {
-			ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster}
+			ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster, Trace: tr}
 			_ = cp.PostDelete(ctx, row, cols, ts)
 		}
 		return nil

@@ -7,6 +7,7 @@ import (
 
 	"diffindex/internal/cluster"
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 )
 
 // task is one unit of asynchronous index work: a base mutation whose index
@@ -44,6 +45,10 @@ type auq struct {
 	pending atomic.Int64 // queued + in-flight tasks
 	wg      sync.WaitGroup
 
+	// delivery records enqueue→durable latency per completed task (the
+	// aps-delivery stage, observed after the fact).
+	delivery *metrics.Histogram
+
 	// mu orders enqueues against kill: enqueuers hold it shared while
 	// sending, kill takes it exclusively before closing the channel.
 	mu     sync.RWMutex
@@ -52,9 +57,10 @@ type auq struct {
 
 func newAUQ(m *Manager, ctx cluster.RegionCtx) *auq {
 	q := &auq{
-		m:   m,
-		ctx: ctx,
-		ch:  make(chan task, m.opts.QueueCapacity),
+		m:        m,
+		ctx:      ctx,
+		ch:       make(chan task, m.opts.QueueCapacity),
+		delivery: m.stageHist(metrics.StageAPSDeliver, ctx.Region.Info.Table),
 	}
 	for i := 0; i < m.opts.Workers; i++ {
 		q.wg.Add(1)
@@ -161,6 +167,7 @@ func (q *auq) processBatch(batch []task) {
 		err := q.m.applyIndexBatch(q.ctx, batch)
 		if err == nil {
 			for _, t := range batch {
+				q.delivery.RecordDuration(time.Since(t.enqueuedAt))
 				q.m.observeStaleness(t.enqueuedAt)
 			}
 			return

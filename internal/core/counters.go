@@ -8,16 +8,39 @@ import "diffindex/internal/metrics"
 // synchronous operations (inside the client-visible request) and
 // asynchronous operations performed by the APS (the bracketed "[ ]" entries
 // in Table 2).
+//
+// The counters are views over the metrics registry: each field is the
+// registry's `diffindex_io_ops_total{op=...}` counter, so Snapshot and
+// MetricsSnapshot report from one source of truth.
 type OpCounters struct {
-	BasePut   metrics.Counter
-	BaseRead  metrics.Counter
-	IndexPut  metrics.Counter // index inserts
-	IndexDel  metrics.Counter // index tombstones ("1+1" with IndexPut)
-	IndexRead metrics.Counter
+	BasePut   *metrics.Counter
+	BaseRead  *metrics.Counter
+	IndexPut  *metrics.Counter // index inserts
+	IndexDel  *metrics.Counter // index tombstones ("1+1" with IndexPut)
+	IndexRead *metrics.Counter
 
-	AsyncBaseRead metrics.Counter
-	AsyncIndexPut metrics.Counter
-	AsyncIndexDel metrics.Counter
+	AsyncBaseRead *metrics.Counter
+	AsyncIndexPut *metrics.Counter
+	AsyncIndexDel *metrics.Counter
+}
+
+// ioOp returns the registry counter for one Table 2 axis.
+func ioOp(reg *metrics.Registry, op string) *metrics.Counter {
+	return reg.Counter("diffindex_io_ops_total", metrics.L("op", op))
+}
+
+// newOpCounters resolves every Table 2 axis against the registry.
+func newOpCounters(reg *metrics.Registry) OpCounters {
+	return OpCounters{
+		BasePut:       ioOp(reg, "base-put"),
+		BaseRead:      ioOp(reg, "base-read"),
+		IndexPut:      ioOp(reg, "index-put"),
+		IndexDel:      ioOp(reg, "index-del"),
+		IndexRead:     ioOp(reg, "index-read"),
+		AsyncBaseRead: ioOp(reg, "async-base-read"),
+		AsyncIndexPut: ioOp(reg, "async-index-put"),
+		AsyncIndexDel: ioOp(reg, "async-index-del"),
+	}
 }
 
 // Snapshot is a point-in-time copy of the counters.

@@ -85,6 +85,11 @@ type Manager struct {
 	// drained and applied together.
 	apsBatch *metrics.Histogram
 
+	// reg is the cluster-wide metrics registry; staleness and apsBatch are
+	// registry-owned histograms, so the legacy accessors and
+	// DB.MetricsSnapshot read the same instruments.
+	reg *metrics.Registry
+
 	mu          sync.Mutex
 	auqs        map[*cluster.Region]*auq
 	serverConns map[string]*cluster.Client
@@ -115,15 +120,32 @@ func (m *Manager) noteIndexRead(indexName string) {
 
 // NewManager creates the Diff-Index runtime for a cluster.
 func NewManager(c *cluster.Cluster, opts ManagerOptions) *Manager {
-	return &Manager{
+	reg := c.Metrics()
+	m := &Manager{
 		cluster:     c,
 		catalog:     NewCatalog(),
 		opts:        opts.withDefaults(),
+		reg:         reg,
 		auqs:        make(map[*cluster.Region]*auq),
 		serverConns: make(map[string]*cluster.Client),
-		staleness:   metrics.NewHistogram(),
-		apsBatch:    metrics.NewHistogram(),
+		Counters:    newOpCounters(reg),
+		staleness:   reg.Histogram("diffindex_staleness_ns"),
+		apsBatch:    reg.Histogram("diffindex_aps_batch_size"),
 	}
+	// Computed gauges over runtime state. They take m.mu / the ApplyStats
+	// counters at read time; the registry evaluates them outside its own
+	// lock, so no lock-ordering cycle.
+	reg.RegisterGaugeFunc("diffindex_auq_depth", m.QueueDepth)
+	reg.RegisterGaugeFunc("diffindex_apply_rpcs_total", m.applyStats.RPCs.Load)
+	reg.RegisterGaugeFunc("diffindex_apply_cells_total", m.applyStats.Cells.Load)
+	return m
+}
+
+// stageHist resolves the stage-latency histogram for a stage on a base
+// table, with optional extra labels (e.g. the index scheme).
+func (m *Manager) stageHist(stage, table string, extra ...metrics.Label) *metrics.Histogram {
+	labels := append([]metrics.Label{metrics.L("stage", stage), metrics.L("table", table)}, extra...)
+	return m.reg.Histogram("diffindex_stage_latency_ns", labels...)
 }
 
 // ApplyStats reports the cumulative index-maintenance fan-out: Apply RPCs
@@ -271,6 +293,9 @@ func (m *Manager) clientFor(name string) *cluster.Client {
 
 // auqFor returns (creating if needed) the AUQ of a region.
 func (m *Manager) auqFor(ctx cluster.RegionCtx) *auq {
+	// The queue outlives the operation that created it: never retain the
+	// originating operation's trace in the queue's context.
+	ctx.Trace = nil
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q, ok := m.auqs[ctx.Region]
@@ -322,12 +347,11 @@ func (m *Manager) observeStaleness(enqueuedAt time.Time) {
 // Staleness exposes the index-staleness histogram (Figure 11's measurement).
 func (m *Manager) Staleness() *metrics.Histogram { return m.staleness }
 
-// ResetStaleness replaces the staleness histogram, for per-phase
-// measurements.
+// ResetStaleness zeroes the staleness histogram, for per-phase
+// measurements. The histogram is registry-owned, so it is reset in place
+// rather than replaced.
 func (m *Manager) ResetStaleness() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.staleness = metrics.NewHistogram()
+	m.staleness.Reset()
 }
 
 // covered reports whether the mutation in t can affect the index.
@@ -451,11 +475,18 @@ func (m *Manager) buildIndexMutations(ctx cluster.RegionCtx, t task, async bool,
 func (m *Manager) applyMutations(ctx cluster.RegionCtx, async bool, muts indexMutations) error {
 	var firstErr error
 	if len(muts.local) > 0 {
-		if err := ctx.Region.Store().ApplyBatchLocked(muts.local); err != nil {
+		// Local cells are the row region's own writes: attribute them to the
+		// index-local stage rather than re-counting their wal/memtable time
+		// on the operation's trace.
+		localStart := time.Now()
+		if err := ctx.Region.Store().ApplyBatchLocked(muts.local, nil); err != nil {
 			firstErr = err
 		} else {
 			m.countIndexCells(muts.local, async)
 		}
+		d := time.Since(localStart)
+		m.stageHist(metrics.StageIndexLocal, ctx.Region.Info.Table).RecordDuration(d)
+		ctx.Trace.AddStage(metrics.StageIndexLocal, d)
 	}
 	if len(muts.global) > 0 {
 		conn := m.clientFor(ctx.Server.ID())

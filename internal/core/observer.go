@@ -5,6 +5,7 @@ import (
 
 	"diffindex/internal/cluster"
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 )
 
 // observer is the per-table coprocessor (§7's SyncFullObserver,
@@ -65,7 +66,11 @@ func (o *observer) dispatch(ctx cluster.RegionCtx, t task) {
 			// new entry, leave stale entries for read repair. Deletes have
 			// no new entry, so sync-insert does nothing for them until a
 			// read repairs the stale entry.
+			rpcStart := time.Now()
 			o.syncInsert(ctx, def, t)
+			d := time.Since(rpcStart)
+			o.m.stageHist(metrics.StageIndexRPC, ctx.Region.Info.Table, metrics.L("scheme", "sync-insert")).RecordDuration(d)
+			ctx.Trace.AddStage(metrics.StageIndexRPC, d)
 		case AsyncSimple, AsyncSession:
 			needsAsync = true
 		}
@@ -79,7 +84,12 @@ func (o *observer) dispatch(ctx cluster.RegionCtx, t task) {
 	}
 	// Sync-full indexes share one pre-image read (Algorithm 1).
 	if needsSyncFull {
-		if err := o.syncFull(ctx, t); err != nil {
+		rpcStart := time.Now()
+		err := o.syncFull(ctx, t)
+		d := time.Since(rpcStart)
+		o.m.stageHist(metrics.StageIndexRPC, ctx.Region.Info.Table, metrics.L("scheme", "sync-full")).RecordDuration(d)
+		ctx.Trace.AddStage(metrics.StageIndexRPC, d)
+		if err != nil {
 			// A failed synchronous operation degrades to eventual
 			// consistency: the task enters the AUQ and is retried until it
 			// succeeds (§6.2 Atomicity/Durability). allIndexes makes the
@@ -91,9 +101,15 @@ func (o *observer) dispatch(ctx cluster.RegionCtx, t task) {
 		}
 	}
 	// Async indexes enqueue the mutation once; the APS applies it to every
-	// asynchronous index (Algorithm 3, AU1-AU2).
+	// asynchronous index (Algorithm 3, AU1-AU2). The enqueue is timed
+	// because a full queue blocks here — backpressure is latency the client
+	// observes (§8.2).
 	if needsAsync {
+		enqStart := time.Now()
 		o.m.auqFor(ctx).enqueue(t)
+		d := time.Since(enqStart)
+		o.m.stageHist(metrics.StageAUQEnqueue, ctx.Region.Info.Table).RecordDuration(d)
+		ctx.Trace.AddStage(metrics.StageAUQEnqueue, d)
 	}
 }
 
@@ -165,7 +181,14 @@ func (o *observer) PreFlush(ctx cluster.RegionCtx) {
 	q, ok := o.m.auqs[ctx.Region]
 	o.m.mu.Unlock()
 	if ok {
+		// Count and time the drain: a deep queue here is a flush stall the
+		// recovery experiments need to see (§5.3 pause-and-drain cost).
+		table := ctx.Region.Info.Table
+		o.m.reg.Counter("diffindex_flush_drains_total", metrics.L("table", table)).Inc()
+		o.m.reg.Counter("diffindex_flush_drain_tasks_total", metrics.L("table", table)).Add(q.depth())
+		drainStart := time.Now()
 		q.drain()
+		o.m.stageHist(metrics.StageFlushDrain, table).RecordDuration(time.Since(drainStart))
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"diffindex/internal/cluster"
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 )
 
 // IndexHit is one index lookup result: a base-table row key and the
@@ -30,12 +32,14 @@ func (m *Manager) GetByIndex(cl *cluster.Client, table string, columns []string,
 	if !ok {
 		return nil, fmt.Errorf("core: no index on %s(%v)", table, columns)
 	}
+	tr := m.cluster.Tracer().Start("index-get", table)
+	defer m.cluster.Tracer().Finish(tr)
 	if def.Local {
 		lo, hi := kv.LocalIndexValueRange(def.Name(), value, value)
-		return m.readLocalIndex(cl, def, lo, hi, 0)
+		return m.readLocalIndex(cl, def, lo, hi, 0, tr)
 	}
 	prefix := kv.IndexValuePrefix(value)
-	return m.readIndex(cl, def, prefix, kv.PrefixSuccessor(prefix), 0)
+	return m.readIndex(cl, def, prefix, kv.PrefixSuccessor(prefix), 0, tr)
 }
 
 // RangeByIndex returns rows whose indexed value v satisfies low ≤ v ≤ high
@@ -46,20 +50,26 @@ func (m *Manager) RangeByIndex(cl *cluster.Client, table string, columns []strin
 	if !ok {
 		return nil, fmt.Errorf("core: no index on %s(%v)", table, columns)
 	}
+	tr := m.cluster.Tracer().Start("index-range", table)
+	defer m.cluster.Tracer().Finish(tr)
 	if def.Local {
 		lo, hi := kv.LocalIndexValueRange(def.Name(), low, high)
-		return m.readLocalIndex(cl, def, lo, hi, limit)
+		return m.readLocalIndex(cl, def, lo, hi, limit, tr)
 	}
 	lo, hi := kv.IndexValueRange(low, high)
-	return m.readIndex(cl, def, lo, hi, limit)
+	return m.readIndex(cl, def, lo, hi, limit, tr)
 }
 
 // readIndex scans the index table and, for sync-insert, runs Algorithm 2:
 // every hit is double-checked against the base table and stale entries are
 // deleted from the index.
-func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int) ([]IndexHit, error) {
+func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int, tr *metrics.Trace) ([]IndexHit, error) {
 	// SR1: read the index table.
+	scanStart := time.Now()
 	entries, err := cl.RawScan(def.Name(), lo, hi, kv.MaxTimestamp, limit)
+	scanDur := time.Since(scanStart)
+	m.stageHist(metrics.StageIndexScan, def.Table).RecordDuration(scanDur)
+	tr.AddStage(metrics.StageIndexScan, scanDur)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +78,7 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 
 	hits := make([]IndexHit, 0, len(entries))
 	var repairs []kv.Cell // stale entries to delete, shipped as one batch
+	var checkDur time.Duration
 	for _, e := range entries {
 		val, row, err := kv.SplitIndexKey(e.Key)
 		if err != nil {
@@ -77,7 +88,9 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 			// SR2: double check. Read the base row's current indexed
 			// value; a mismatch means this entry is stale — collect its
 			// delete for the batched repair below.
+			checkStart := time.Now()
 			keep, err := m.doubleCheck(cl, def, val, row)
+			checkDur += time.Since(checkStart)
 			if err != nil {
 				return nil, err
 			}
@@ -92,11 +105,20 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 		}
 		hits = append(hits, IndexHit{Row: append([]byte(nil), row...), Ts: e.Ts})
 	}
+	if checkDur > 0 {
+		m.stageHist(metrics.StageCheck, def.Table).RecordDuration(checkDur)
+		tr.AddStage(metrics.StageCheck, checkDur)
+	}
 	// Algorithm 2's clean step, region-batched: all stale entries found by
 	// this read are deleted with one Apply per destination region instead
 	// of one RPC each.
 	if len(repairs) > 0 {
-		if err := cl.MultiApply(def.Name(), repairs); err != nil {
+		repairStart := time.Now()
+		err := cl.MultiApply(def.Name(), repairs)
+		repairDur := time.Since(repairStart)
+		m.stageHist(metrics.StageRepair, def.Table).RecordDuration(repairDur)
+		tr.AddStage(metrics.StageRepair, repairDur)
+		if err != nil {
 			return nil, err
 		}
 		m.Counters.IndexDel.Add(int64(len(repairs)))
@@ -109,8 +131,12 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 // query pattern). Local entries are maintained synchronously inside the
 // row's region, so no double check is needed. Results are merged into
 // index-value order.
-func (m *Manager) readLocalIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int) ([]IndexHit, error) {
+func (m *Manager) readLocalIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int, tr *metrics.Trace) ([]IndexHit, error) {
+	scanStart := time.Now()
 	entries, err := cl.BroadcastScan(def.Table, lo, hi, kv.MaxTimestamp, 0)
+	scanDur := time.Since(scanStart)
+	m.stageHist(metrics.StageIndexScan, def.Table).RecordDuration(scanDur)
+	tr.AddStage(metrics.StageIndexScan, scanDur)
 	if err != nil {
 		return nil, err
 	}

@@ -260,7 +260,9 @@ func (s *Session) getMerged(table string, columns []string, lo, hi []byte, value
 	if !ok {
 		return nil, fmt.Errorf("core: no index on %s(%v)", table, columns)
 	}
-	hits, err := s.m.readIndex(s.cl, def, lo, hi, 0)
+	tr := s.m.cluster.Tracer().Start("index-get", table)
+	defer s.m.cluster.Tracer().Finish(tr)
+	hits, err := s.m.readIndex(s.cl, def, lo, hi, 0, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ package lsm
 
 import (
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 	"diffindex/internal/sstable"
 	"diffindex/internal/vfs"
 )
@@ -44,6 +45,13 @@ type Options struct {
 	// WAL during Open, in log order. Diff-Index uses it to re-enqueue index
 	// work (§5.3: "each base put replayed is also put into AUQ again").
 	OnReplay func(kv.Cell)
+	// Metrics, when non-nil, is the registry the store records stage
+	// latencies (wal, memtable, store-get, store-scan, flush) and WAL
+	// append counters into, labeled with MetricsTable.
+	Metrics *metrics.Registry
+	// MetricsTable is the value of the `table` label on this store's
+	// metrics (typically the owning region's table name).
+	MetricsTable string
 	// DisableAutoFlush turns off size-triggered flushes (tests flush
 	// explicitly for determinism).
 	DisableAutoFlush bool

@@ -106,7 +106,7 @@ func TestPipelineAtomicWithFlush(t *testing.T) {
 				}
 				key := []byte(fmt.Sprintf("w%d-%06d", w, i))
 				err := s.Pipeline(func() error {
-					if err := s.ApplyBatchLocked([]kv.Cell{{Key: key, Value: []byte("v"), Ts: kv.Timestamp(w*1_000_000 + i + 1), Kind: kv.KindPut}}); err != nil {
+					if err := s.ApplyBatchLocked([]kv.Cell{{Key: key, Value: []byte("v"), Ts: kv.Timestamp(w*1_000_000 + i + 1), Kind: kv.KindPut}}, nil); err != nil {
 						return err
 					}
 					mu.Lock()

@@ -9,9 +9,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diffindex/internal/kv"
 	"diffindex/internal/memtable"
+	"diffindex/internal/metrics"
 	"diffindex/internal/sstable"
 	"diffindex/internal/wal"
 )
@@ -68,6 +70,19 @@ type Store struct {
 	stats struct {
 		puts, deletes, gets, scans, flushes, compactions atomic.Int64
 	}
+
+	// Stage histograms, resolved once at Open when Options.Metrics is set
+	// (nil otherwise — stage recording is skipped entirely then). The store
+	// records each stage where it runs, so the histograms see every
+	// operation, traced or not.
+	stageWAL, stageMem, stageGet, stageScan, stageFlush *metrics.Histogram
+}
+
+// recordStage records d into h when stage metrics are enabled.
+func recordStage(h *metrics.Histogram, d time.Duration) {
+	if h != nil {
+		h.RecordDuration(d)
+	}
 }
 
 // Open opens (or creates) the store in opts.Dir, replaying any WAL left by a
@@ -118,6 +133,21 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.log = log
+
+	if reg := opts.Metrics; reg != nil {
+		table := metrics.L("table", opts.MetricsTable)
+		s.stageWAL = reg.Histogram("diffindex_stage_latency_ns", metrics.L("stage", metrics.StageWAL), table)
+		s.stageMem = reg.Histogram("diffindex_stage_latency_ns", metrics.L("stage", metrics.StageMemtable), table)
+		s.stageGet = reg.Histogram("diffindex_stage_latency_ns", metrics.L("stage", metrics.StageStoreGet), table)
+		s.stageScan = reg.Histogram("diffindex_stage_latency_ns", metrics.L("stage", metrics.StageStoreScan), table)
+		s.stageFlush = reg.Histogram("diffindex_stage_latency_ns", metrics.L("stage", metrics.StageFlush), table)
+		appends := reg.Counter("diffindex_wal_appends_total", table)
+		bytesC := reg.Counter("diffindex_wal_bytes_total", table)
+		log.SetObserver(func(recs, n int, d time.Duration) {
+			appends.Add(int64(recs))
+			bytesC.Add(int64(n))
+		})
+	}
 	return s, nil
 }
 
@@ -188,9 +218,10 @@ func (s *Store) Pipeline(fn func() error) error {
 // a Pipeline callback (the gate is already held — acquiring it again would
 // deadlock), or they run from work a flush's pre-flush hook waits on (e.g.
 // this region's AUQ, which is drained to completion before the memtable
-// swap).
-func (s *Store) ApplyBatchLocked(cells []kv.Cell) error {
-	return s.applyBatch(cells)
+// swap). tr, when non-nil, receives the wal and memtable stage durations of
+// this batch.
+func (s *Store) ApplyBatchLocked(cells []kv.Cell, tr *metrics.Trace) error {
+	return s.applyBatch(cells, tr)
 }
 
 // ApplyBatch appends several cells with one WAL sync (HBase group-commits a
@@ -198,10 +229,10 @@ func (s *Store) ApplyBatchLocked(cells []kv.Cell) error {
 func (s *Store) ApplyBatch(cells []kv.Cell) error {
 	s.writeGate.RLock()
 	defer s.writeGate.RUnlock()
-	return s.applyBatch(cells)
+	return s.applyBatch(cells, nil)
 }
 
-func (s *Store) applyBatch(cells []kv.Cell) error {
+func (s *Store) applyBatch(cells []kv.Cell, tr *metrics.Trace) error {
 	if len(cells) == 0 {
 		return nil
 	}
@@ -217,8 +248,20 @@ func (s *Store) applyBatch(cells []kv.Cell) error {
 	for i, c := range cells {
 		recs[i] = wal.Record{Key: c.Key, Value: c.Value, Ts: c.Ts, Kind: c.Kind}
 	}
+	timed := tr != nil || s.stageWAL != nil
+	var walStart time.Time
+	if timed {
+		walStart = time.Now()
+	}
 	if err := log.AppendBatch(recs); err != nil {
 		return err
+	}
+	var memStart time.Time
+	if timed {
+		d := time.Since(walStart)
+		recordStage(s.stageWAL, d)
+		tr.AddStage(metrics.StageWAL, d)
+		memStart = time.Now()
 	}
 	for _, c := range cells {
 		mem.Add(c)
@@ -227,6 +270,11 @@ func (s *Store) applyBatch(cells []kv.Cell) error {
 		} else {
 			s.stats.puts.Add(1)
 		}
+	}
+	if timed {
+		d := time.Since(memStart)
+		recordStage(s.stageMem, d)
+		tr.AddStage(metrics.StageMemtable, d)
 	}
 	if !s.opts.DisableAutoFlush && mem.ApproximateBytes() >= s.opts.MemtableBytes {
 		s.maybeScheduleFlush()
@@ -237,7 +285,7 @@ func (s *Store) applyBatch(cells []kv.Cell) error {
 func (s *Store) apply(c kv.Cell) error {
 	s.writeGate.RLock()
 	defer s.writeGate.RUnlock()
-	return s.applyBatch([]kv.Cell{c})
+	return s.applyBatch([]kv.Cell{c}, nil)
 }
 
 func (s *Store) maybeScheduleFlush() {
@@ -262,6 +310,10 @@ func (s *Store) maybeScheduleFlush() {
 func (s *Store) Flush() error {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
+	if s.stageFlush != nil {
+		flushStart := time.Now()
+		defer func() { s.stageFlush.RecordDuration(time.Since(flushStart)) }()
+	}
 
 	// Phase 1-2: pause & drain, then swap, under the exclusive write gate.
 	s.writeGate.Lock()
@@ -389,6 +441,10 @@ func (s *Store) Get(key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
 // repair uses it to distinguish "no version" from "deleted".
 func (s *Store) GetCell(key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
 	s.stats.gets.Add(1)
+	if s.stageGet != nil {
+		start := time.Now()
+		defer func() { s.stageGet.RecordDuration(time.Since(start)) }()
+	}
 	mems, tables, release, err := s.components()
 	if err != nil {
 		return kv.Cell{}, false, err
@@ -437,6 +493,10 @@ type ScanResult struct {
 // unlimited). A nil end means "to the end of the store".
 func (s *Store) Scan(start, end []byte, ts kv.Timestamp, limit int) ([]ScanResult, error) {
 	s.stats.scans.Add(1)
+	if s.stageScan != nil {
+		scanStart := time.Now()
+		defer func() { s.stageScan.RecordDuration(time.Since(scanStart)) }()
+	}
 	mems, tables, release, err := s.components()
 	if err != nil {
 		return nil, err

@@ -106,12 +106,19 @@ func (h *Histogram) Max() int64 {
 	return h.max.Load()
 }
 
-// Min returns the smallest recorded sample, or 0 when empty.
+// Min returns the smallest recorded sample, or 0 when empty. Record bumps
+// total before the min CAS completes, so a concurrent reader can observe
+// total > 0 while min is still the empty sentinel; that window reads as 0
+// rather than leaking math.MaxInt64.
 func (h *Histogram) Min() int64 {
 	if h.total.Load() == 0 {
 		return 0
 	}
-	return h.min.Load()
+	m := h.min.Load()
+	if m == math.MaxInt64 {
+		return 0
+	}
+	return m
 }
 
 // Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1).
@@ -184,18 +191,91 @@ type Snapshot struct {
 	P999          int64
 }
 
-// Snapshot returns the current summary statistics.
+// Snapshot returns the current summary statistics, read consistently enough
+// for a concurrent dump.
+//
+// Weak-consistency contract: recording never blocks and Snapshot never
+// blocks recorders, so a snapshot taken concurrently with Record is not a
+// consistent cut — it may miss (or partially include) the handful of
+// records in flight. What Snapshot does guarantee:
+//
+//   - Count and every quantile derive from ONE pass over the bucket array,
+//     so the quantiles are mutually monotone (P50 ≤ P95 ≤ P99 ≤ P999) and
+//     consistent with Count — unlike calling Count and Quantile separately,
+//     which can disagree about how many samples exist.
+//   - Min is never the empty sentinel when Count > 0, and Min ≤ Max
+//     (Record publishes max before min, and both move monotonically).
+//   - Quantiles are clamped to Max; Mean is clamped to [Min, Max] when it
+//     drifts outside due to a sum/bucket race.
+//
+// Fields may still lag or lead each other by in-flight records; callers
+// needing exact totals must quiesce recorders first.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-		P999:  h.Quantile(0.999),
+	var counts [64 * subBuckets]int64
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
 	}
+	if total == 0 {
+		return Snapshot{}
+	}
+	sum := h.sum.Load()
+	min := h.min.Load()
+	max := h.max.Load()
+	if min == math.MaxInt64 {
+		min = 0
+	}
+	quantile := func(q float64) int64 {
+		target := int64(math.Ceil(q * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		var seen int64
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				u := bucketUpper(i)
+				if u > max {
+					return max
+				}
+				return u
+			}
+		}
+		return max
+	}
+	mean := float64(sum) / float64(total)
+	if mean < float64(min) {
+		mean = float64(min)
+	}
+	if mean > float64(max) {
+		mean = float64(max)
+	}
+	return Snapshot{
+		Count: total,
+		Mean:  mean,
+		Min:   min,
+		Max:   max,
+		P50:   quantile(0.50),
+		P95:   quantile(0.95),
+		P99:   quantile(0.99),
+		P999:  quantile(0.999),
+	}
+}
+
+// Reset zeroes the histogram for a new measurement phase. Like Snapshot it
+// is only weakly consistent against concurrent recorders: samples recorded
+// while Reset runs may be partially dropped. Quiesce recorders for an exact
+// phase boundary.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(math.MaxInt64)
 }
 
 // String renders the snapshot with duration formatting, assuming samples are

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"diffindex/internal/kv"
 	"diffindex/internal/vfs"
@@ -51,6 +52,18 @@ type Log struct {
 	seg    vfs.File // active segment
 	segID  uint64
 	closed bool
+	obs    func(recs, bytes int, d time.Duration)
+}
+
+// SetObserver installs a callback invoked after every durable append with the
+// record count, encoded byte count, and the wall time of the write+sync. The
+// LSM layer uses it to feed WAL metrics without the log depending on the
+// metrics package. fn runs under the log's append lock, so it must be cheap
+// and must not call back into the log.
+func (l *Log) SetObserver(fn func(recs, bytes int, d time.Duration)) {
+	l.mu.Lock()
+	l.obs = fn
+	l.mu.Unlock()
 }
 
 func segmentName(dir string, id uint64) string {
@@ -219,11 +232,18 @@ func (l *Log) AppendBatch(recs []Record) error {
 	if l.closed {
 		return ErrClosed
 	}
+	var start time.Time
+	if l.obs != nil {
+		start = time.Now()
+	}
 	if _, err := l.seg.Write(buf); err != nil {
 		return fmt.Errorf("wal: append batch: %w", err)
 	}
 	if err := l.seg.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if l.obs != nil {
+		l.obs(len(recs), len(buf), time.Since(start))
 	}
 	return nil
 }

@@ -1,0 +1,119 @@
+package diffindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"diffindex/internal/metrics"
+)
+
+// This file is the DB's live observability surface: programmatic snapshots
+// of the metrics registry, the slow-operation log, a periodic JSON dumper,
+// and an expvar-style HTTP endpoint. All of it reads the same registry that
+// the hot paths write, so numbers here always agree with IOCounts,
+// HotPathStats and Staleness (which are views over the same instruments).
+
+// MetricsSnapshot returns a point-in-time snapshot of every counter, gauge
+// and histogram in the DB's metrics registry. Counters and gauges are read
+// atomically; histograms use the weakly consistent (but internally
+// consistent) single-pass snapshot documented on metrics.Histogram.
+func (db *DB) MetricsSnapshot() metrics.RegistrySnapshot {
+	return db.c.Metrics().Snapshot()
+}
+
+// SlowOps returns the K slowest operations recorded so far (slowest first),
+// each with its per-stage latency breakdown. K is Options.SlowOpLog; the log
+// is empty when Options.DisableTracing is set.
+func (db *DB) SlowOps() []metrics.SlowOp {
+	return db.c.Tracer().SlowOps()
+}
+
+// metricsDump is the envelope StartMetricsDump writes: one JSON object per
+// line, timestamped so dumps can be correlated with experiment phases.
+type metricsDump struct {
+	UnixNs  int64                    `json:"unix_ns"`
+	Metrics metrics.RegistrySnapshot `json:"metrics"`
+}
+
+// StartMetricsDump writes a JSON line with the full registry snapshot to w
+// every interval until the returned stop function is called. Writes are
+// serialized; errors from w stop the dumper. Intended for piping live stats
+// from long experiments into a file or a terminal (`diffbench -metrics`).
+func (db *DB) StartMetricsDump(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		enc := json.NewEncoder(w)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				d := metricsDump{UnixNs: time.Now().UnixNano(), Metrics: db.MetricsSnapshot()}
+				if err := enc.Encode(d); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// MetricsHandler returns an http.Handler that serves the registry as JSON —
+// an expvar-style live stats endpoint:
+//
+//	/         the full registry snapshot (stable JSON: sorted keys)
+//	/slowops  the slow-op log with per-stage breakdowns
+//
+// Mount it wherever convenient, or use StartMetricsHTTP for a ready server.
+func (db *DB) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" && r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		buf, err := db.MetricsSnapshot().MarshalStableJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(buf)
+	})
+	mux.HandleFunc("/slowops", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := json.MarshalIndent(db.SlowOps(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(buf)
+	})
+	return mux
+}
+
+// StartMetricsHTTP serves MetricsHandler on addr (e.g. "localhost:0"; the
+// returned string is the bound address, useful with port 0). The server
+// shuts down when stop is called or the DB is not otherwise torn down —
+// callers own the lifecycle.
+func (db *DB) StartMetricsHTTP(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("diffindex: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: db.MetricsHandler()}
+	go srv.Serve(ln)
+	var once sync.Once
+	return ln.Addr().String(), func() { once.Do(func() { srv.Close() }) }, nil
+}

@@ -1,0 +1,42 @@
+// Observability overhead benchmarks: the same put workload with tracing on
+// (the default — per-op trace context, op-latency histogram, slow-op log)
+// vs off (Options.DisableTracing). Stage histograms and counters record in
+// both modes; the delta is the cost of the trace itself. The acceptance bar
+// (EXPERIMENTS.md) is <5% on the zero-latency profile, where the overhead
+// is not hidden behind simulated disk and network sleeps.
+package diffindex_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+func benchTracePut(b *testing.B, disableTracing bool) {
+	opts := diffindex.Options{Servers: 3, DisableTracing: disableTracing}
+	db := diffindex.Open(opts)
+	if err := workload.Setup(db, 512, 3, int(diffindex.SyncFull), -1, 8); err != nil {
+		db.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	cl := db.NewClient("bench")
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			item := i % 512
+			if _, err := cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+				workload.TitleColumn: workload.UpdatedTitleValue(item, i),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTracedPut(b *testing.B)   { benchTracePut(b, false) }
+func BenchmarkUntracedPut(b *testing.B) { benchTracePut(b, true) }
