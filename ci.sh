@@ -16,6 +16,8 @@
 #      the root package too, plus the golden-file guard that
 #      MetricsSnapshot marshals to stable JSON (TestMetricsSnapshotStableJSONGolden;
 #      refresh the golden with `go test ./internal/metrics -run Golden -update-golden`)
+#   7. benchmark smoke    — every benchmark compiles and survives one
+#      iteration (catches bit-rot in bench-only code paths)
 set -eu
 cd "$(dirname "$0")"
 
@@ -41,5 +43,8 @@ go test -race ./internal/...
 
 echo "== go test -race -run Metrics (observability + golden file) =="
 go test -race -run Metrics ./...
+
+echo "== benchmark smoke (one iteration each) =="
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "CI PASSED"

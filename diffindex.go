@@ -91,6 +91,13 @@ type Options struct {
 	// (default 4).
 	CompactionThreshold int
 
+	// ReadFanOut bounds how many per-region RPCs one client operation may
+	// have in flight at once on the scatter-gather paths: batched MultiGet
+	// row fetches, region-batched index maintenance, local-index broadcast
+	// scans and index-range scans (default 8; 1 forces the serial
+	// behaviour).
+	ReadFanOut int
+
 	// AUQCapacity bounds each region's asynchronous update queue
 	// (default 4096).
 	AUQCapacity int
@@ -147,6 +154,7 @@ func Open(opts Options) *DB {
 		MemtableBytes:       opts.MemtableBytes,
 		MaxVersions:         opts.MaxVersions,
 		CompactionThreshold: opts.CompactionThreshold,
+		ReadFanOut:          opts.ReadFanOut,
 		DisableTracing:      opts.DisableTracing,
 		SlowOpK:             opts.SlowOpLog,
 	})

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,8 +36,26 @@ type Client struct {
 	// stats, when set, counts Apply RPC fan-out (see ApplyStats).
 	stats *ApplyStats
 
+	// fanOut, when positive, overrides the cluster's ReadFanOut for this
+	// client's scatter-gather operations.
+	fanOut int
+
 	// tracer mints per-operation traces (shared with the whole cluster).
 	tracer *metrics.Tracer
+}
+
+// SetFanOut overrides the cluster-wide fan-out width for this client: the
+// bound on concurrent per-region RPCs of one batched operation. n ≤ 0
+// restores the cluster default; 1 forces the serial behaviour (useful as a
+// baseline). Not safe to call concurrently with requests; attach before use.
+func (cl *Client) SetFanOut(n int) { cl.fanOut = n }
+
+// fanOutWidth resolves the effective fan-out bound.
+func (cl *Client) fanOutWidth() int {
+	if cl.fanOut > 0 {
+		return cl.fanOut
+	}
+	return cl.cluster.cfg.ReadFanOut
 }
 
 // SetApplyStats attaches a (possibly shared) fan-out counter to the client.
@@ -355,8 +374,9 @@ func (cl *Client) RawApply(table string, routingKey []byte, cells []kv.Cell) err
 
 // MultiApply writes pre-timestamped cells to a RAW (index) table, grouping
 // them by destination region through the cached partition map and issuing
-// ONE Apply RPC per region — the region-batched index-maintenance path.
-// Each cell routes by its own Key (raw tables route by store key).
+// ONE Apply RPC per region, with the per-region RPCs in flight concurrently
+// under the client's fan-out bound. Each cell routes by its own Key (raw
+// tables route by store key).
 //
 // When a region moved mid-batch (split, crash recovery), the groups that
 // hit the stale route fail with a retriable error; the partition map is
@@ -368,44 +388,88 @@ func (cl *Client) MultiApply(table string, cells []kv.Cell) error {
 	if len(cells) == 0 {
 		return nil
 	}
-	pending := cells
+	return cl.multiRoute(table, len(cells),
+		func(i int) []byte { return cells[i].Key },
+		func(ri RegionInfo, s *RegionServer, group []int) error {
+			batch := make([]kv.Cell, len(group))
+			for j, i := range group {
+				batch[j] = cells[i]
+			}
+			return s.Apply(ri.ID, batch)
+		},
+		func(group []int) { cl.countApply(len(group)) })
+}
+
+// multiRoute is the engine behind the region-grouped batch operations
+// (MultiGet, MultiGetRow, MultiApply): items 0…n-1 route by routeKey
+// through the cached partition map, each destination region receives ONE
+// call carrying its group of item indices, and the per-region calls are
+// issued concurrently under the client's bounded fan-out. Groups that fail
+// with a retriable routing error (split, crash recovery) invalidate the map
+// and only their items are regrouped and retried, with the same backoff as
+// withRegion — call must therefore be idempotent under redelivery and write
+// its results into caller-owned slots indexed by item, which keeps results
+// in input order no matter how items regroup. A non-retriable error
+// surfaces deterministically: among failing groups, the one lowest in
+// region-dispatch order (itself fixed by item order) wins. onSuccess, when
+// non-nil, observes each group whose call round-tripped successfully.
+func (cl *Client) multiRoute(table string, n int, routeKey func(i int) []byte, call func(ri RegionInfo, s *RegionServer, group []int) error, onSuccess func(group []int)) error {
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
 	var lastErr error
 	backoff := time.Millisecond
 	for attempt := 0; attempt < maxRetries; attempt++ {
-		// Group the pending cells by destination region.
+		// Group the pending items by destination region.
 		regions, err := cl.regions(table)
 		if err != nil {
 			return err
 		}
-		groups := make(map[string][]kv.Cell)
+		var order []string // region dispatch order: first item routed there
+		groups := make(map[string][]int)
 		infos := make(map[string]RegionInfo)
-		for _, c := range pending {
-			ri, ok := regionContaining(regions, c.Key)
+		for _, i := range pending {
+			ri, ok := regionContaining(regions, routeKey(i))
 			if !ok {
-				return fmt.Errorf("cluster: no region for key %q in table %s", c.Key, table)
+				return fmt.Errorf("cluster: no region for key %q in table %s", routeKey(i), table)
 			}
-			groups[ri.ID] = append(groups[ri.ID], c)
-			infos[ri.ID] = ri
+			if _, seen := groups[ri.ID]; !seen {
+				order = append(order, ri.ID)
+				infos[ri.ID] = ri
+			}
+			groups[ri.ID] = append(groups[ri.ID], i)
 		}
+		cl.cluster.noteWave(len(order), len(pending), attempt == 0)
 
-		// One Apply per region; collect the cells of failed (retriable)
-		// groups for the next round.
-		var failed []kv.Cell
-		for id, group := range groups {
-			ri := infos[id]
+		// One call per region, concurrently; collect the items of failed
+		// (retriable) groups for the next round.
+		var mu sync.Mutex
+		var failed []int
+		err = runFanOut(cl.fanOutWidth(), len(order), func(g int) error {
+			ri := infos[order[g]]
+			group := groups[order[g]]
 			server := cl.cluster.Server(ri.Server)
-			err := cl.cluster.Net.Call(cl.name, ri.Server, func() error {
-				return server.Apply(ri.ID, group)
+			callErr := cl.cluster.Net.Call(cl.name, ri.Server, func() error {
+				return call(ri, server, group)
 			})
 			switch {
-			case err == nil:
-				cl.countApply(len(group))
-			case retriable(err):
-				lastErr = err
+			case callErr == nil:
+				if onSuccess != nil {
+					onSuccess(group)
+				}
+			case retriable(callErr):
+				mu.Lock()
+				lastErr = callErr
 				failed = append(failed, group...)
+				mu.Unlock()
 			default:
-				return err
+				return callErr
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		if len(failed) == 0 {
 			return nil
@@ -414,6 +478,7 @@ func (cl *Client) MultiApply(table string, cells []kv.Cell) error {
 		if len(cl.cluster.LiveServerIDs()) == 0 {
 			return fmt.Errorf("cluster: no live servers for table %s: %w", table, lastErr)
 		}
+		sort.Ints(failed) // deterministic regroup order across retry rounds
 		pending = failed
 		time.Sleep(backoff)
 		if backoff < 64*time.Millisecond {
@@ -421,6 +486,92 @@ func (cl *Client) MultiApply(table string, cells []kv.Cell) error {
 		}
 	}
 	return fmt.Errorf("cluster: retries exhausted for table %s: %w", table, lastErr)
+}
+
+// GetSpec addresses one point read of a MultiGet batch: Key is the store
+// key to read, Route the routing key locating its region (the row key for
+// base tables). A nil Route routes by Key itself — the raw/index-table
+// case, where store keys are routing keys.
+type GetSpec struct {
+	Route []byte
+	Key   []byte
+}
+
+func (g GetSpec) route() []byte {
+	if g.Route != nil {
+		return g.Route
+	}
+	return g.Key
+}
+
+// MultiGet reads a batch of store keys at ts, grouping them by destination
+// region through the cached partition map: one MultiGet RPC per region,
+// issued concurrently under the client's fan-out bound. Results are
+// positional — out[i] answers specs[i] — so output order equals input order
+// regardless of grouping, retries or scheduling. Stale-routed groups retry
+// after a map invalidation exactly like MultiApply; point reads are
+// trivially idempotent, so redelivery is safe.
+func (cl *Client) MultiGet(table string, specs []GetSpec, ts kv.Timestamp) ([]GetResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	tr := cl.tracer.Start("multi-get", table)
+	defer cl.tracer.Finish(tr)
+	out := make([]GetResult, len(specs))
+	err := cl.multiRoute(table, len(specs),
+		func(i int) []byte { return specs[i].route() },
+		func(ri RegionInfo, s *RegionServer, group []int) error {
+			keys := make([][]byte, len(group))
+			for j, i := range group {
+				keys[j] = specs[i].Key
+			}
+			res, err := s.MultiGet(ri.ID, keys, ts)
+			if err != nil {
+				return err
+			}
+			for j, i := range group {
+				out[i] = res[j]
+			}
+			return nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MultiGetRow reads a batch of whole base-table rows in one region-grouped,
+// concurrent wave: the batched form of GetRow, and the resolver FetchRows
+// uses to turn N index hits into rows with one RPC per region instead of N
+// serial round trips. out[i] holds rows[i]'s visible columns (nil = no
+// visible row), in input order.
+func (cl *Client) MultiGetRow(table string, rows [][]byte) ([]map[string][]byte, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	tr := cl.tracer.Start("multi-get-row", table)
+	defer cl.tracer.Finish(tr)
+	out := make([]map[string][]byte, len(rows))
+	err := cl.multiRoute(table, len(rows),
+		func(i int) []byte { return rows[i] },
+		func(ri RegionInfo, s *RegionServer, group []int) error {
+			batch := make([][]byte, len(group))
+			for j, i := range group {
+				batch[j] = rows[i]
+			}
+			res, err := s.MultiGetRow(ri.ID, batch, kv.MaxTimestamp)
+			if err != nil {
+				return err
+			}
+			for j, i := range group {
+				out[i] = res[j]
+			}
+			return nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // regionContaining finds the region of a sorted region list holding key.
@@ -445,49 +596,160 @@ func (cl *Client) RawGet(table string, routingKey, storeKey []byte, ts kv.Timest
 	return cell, ok, err
 }
 
+// scatterRanges snapshots the table's region routing boundaries clamped to
+// [start, end), the unit of work one scatter-gather scan branch covers.
+// Each branch re-walks its slice of the routing space with the cursor loop
+// (forEachRegion), so a region that splits after the snapshot is still
+// covered — the branch just visits both children. A region that MERGED
+// after the snapshot spans several branch ranges; range-clamped scans
+// (RawScan) stay disjoint naturally, while whole-region scans
+// (BroadcastScan) dedupe with an ownership rule — see ownsRegion.
+type scatterRange struct {
+	lo, hi []byte
+}
+
+func (cl *Client) scatterRanges(table string, start, end []byte) ([]scatterRange, error) {
+	regions, err := cl.regions(table)
+	if err != nil {
+		return nil, err
+	}
+	var out []scatterRange
+	for _, ri := range regions {
+		if !ri.Overlaps(start, end) {
+			continue
+		}
+		lo, hi := ri.Start, ri.End
+		if start != nil && (lo == nil || bytes.Compare(start, lo) > 0) {
+			lo = start
+		}
+		if end != nil && (hi == nil || bytes.Compare(end, hi) < 0) {
+			hi = end
+		}
+		out = append(out, scatterRange{lo: lo, hi: hi})
+	}
+	return out, nil
+}
+
 // BroadcastScan runs the same store-key scan against EVERY region of the
-// table and concatenates the results (region order, not globally sorted).
-// This is the query pattern of local secondary indexes (§3.1: "every query
-// has to be broadcast to each region"); each region contributes its own
-// matching entries, and the cost grows with the region count.
+// table and concatenates the results in region (routing) order, not
+// globally sorted. This is the query pattern of local secondary indexes
+// (§3.1: "every query has to be broadcast to each region"); each region
+// contributes its own matching entries. The per-region scans run
+// concurrently under the client's fan-out bound, so latency tracks the
+// slowest region rather than the region count.
+//
+// limit bounds EACH region's result count (≤ 0 = unlimited): regions scan
+// independently, so a global cutoff cannot be pushed down. Callers needing
+// a global bound sort the concatenation and truncate (readLocalIndex does).
 func (cl *Client) BroadcastScan(table string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
-	var out []lsm.ScanResult
-	err := cl.forEachRegion(table, nil, nil, func(ri RegionInfo, _, _ []byte, s *RegionServer) (bool, error) {
-		remaining := 0
-		if limit > 0 {
-			remaining = limit - len(out)
-			if remaining <= 0 {
-				return false, nil
+	ranges, err := cl.scatterRanges(table, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]lsm.ScanResult, len(ranges))
+	rpcs := make([]int, len(ranges))
+	err = runFanOut(cl.fanOutWidth(), len(ranges), func(i int) error {
+		return cl.forEachRegion(table, ranges[i].lo, ranges[i].hi, func(ri RegionInfo, _, _ []byte, s *RegionServer) (bool, error) {
+			// A region that merged after the snapshot spans several branch
+			// ranges and would be broadcast once per branch; only the branch
+			// owning its start key scans it.
+			if !ownsRegion(ranges[i], ri.Start) {
+				return true, nil
 			}
-		}
-		results, err := s.Scan(ri.ID, start, end, ts, remaining)
-		if err != nil {
-			return false, err
-		}
-		out = append(out, results...)
-		return true, nil
+			results, err := s.Scan(ri.ID, start, end, ts, limit)
+			if err != nil {
+				return false, err
+			}
+			parts[i] = append(parts[i], results...)
+			rpcs[i]++
+			return true, nil
+		})
 	})
-	return out, err
+	cl.noteScatter(rpcs)
+	if err != nil {
+		return nil, err
+	}
+	return concatScans(parts), nil
 }
 
 // RawScan scans raw store keys in [start, end) across regions at ts, up to
-// limit results. For index tables, routing keys equal store keys.
+// limit results (≤ 0 = unlimited). For index tables, routing keys equal
+// store keys, so concatenating the per-range results in snapshot order
+// yields globally key-ordered output; each range scans up to limit entries
+// concurrently and the concatenation is truncated to limit, which returns
+// exactly the first limit results in key order — the serial semantics.
 func (cl *Client) RawScan(table string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
-	var out []lsm.ScanResult
-	err := cl.forEachRegion(table, start, end, func(ri RegionInfo, lo, hi []byte, s *RegionServer) (bool, error) {
-		remaining := 0
-		if limit > 0 {
-			remaining = limit - len(out)
-			if remaining <= 0 {
-				return false, nil
+	ranges, err := cl.scatterRanges(table, start, end)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]lsm.ScanResult, len(ranges))
+	rpcs := make([]int, len(ranges))
+	err = runFanOut(cl.fanOutWidth(), len(ranges), func(i int) error {
+		return cl.forEachRegion(table, ranges[i].lo, ranges[i].hi, func(ri RegionInfo, lo, hi []byte, s *RegionServer) (bool, error) {
+			remaining := 0
+			if limit > 0 {
+				remaining = limit - len(parts[i])
+				if remaining <= 0 {
+					return false, nil
+				}
 			}
-		}
-		results, err := s.Scan(ri.ID, lo, hi, ts, remaining)
-		if err != nil {
-			return false, err
-		}
-		out = append(out, results...)
-		return true, nil
+			results, err := s.Scan(ri.ID, lo, hi, ts, remaining)
+			if err != nil {
+				return false, err
+			}
+			parts[i] = append(parts[i], results...)
+			rpcs[i]++
+			return true, nil
+		})
 	})
-	return out, err
+	cl.noteScatter(rpcs)
+	if err != nil {
+		return nil, err
+	}
+	out := concatScans(parts)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// ownsRegion reports whether a scatter branch owns the region whose start
+// key is riStart (nil = the keyspace minimum): ownership goes to the single
+// branch whose [lo, hi) range contains the region's start, so a region
+// spanning several branch snapshots (a post-snapshot merge) is whole-region
+// scanned exactly once.
+func ownsRegion(r scatterRange, riStart []byte) bool {
+	if riStart == nil {
+		return r.lo == nil
+	}
+	if r.lo != nil && bytes.Compare(riStart, r.lo) < 0 {
+		return false
+	}
+	return r.hi == nil || bytes.Compare(riStart, r.hi) < 0
+}
+
+// noteScatter records one scatter-gather scan wave's realized RPC count.
+func (cl *Client) noteScatter(rpcs []int) {
+	total := 0
+	for _, n := range rpcs {
+		total += n
+	}
+	cl.cluster.noteWave(total, 0, true)
+}
+
+// concatScans flattens per-branch results preserving branch order.
+func concatScans(parts [][]lsm.ScanResult) []lsm.ScanResult {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]lsm.ScanResult, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }

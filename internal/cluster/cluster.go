@@ -54,6 +54,11 @@ type Config struct {
 	// CompactionThreshold is the table count triggering compaction.
 	// Defaults to 4.
 	CompactionThreshold int
+	// ReadFanOut bounds how many per-region RPCs one client operation may
+	// have in flight at once on the batched/scatter-gather paths (MultiGet,
+	// MultiApply, BroadcastScan, RawScan). Defaults to 8; 1 forces the
+	// serial behaviour.
+	ReadFanOut int
 	// Metrics is the registry every layer of the cluster records into. A
 	// nil value gets a fresh registry, so metrics are always on; the
 	// registry is lock-free on the hot path.
@@ -71,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockCacheBytes == 0 {
 		c.BlockCacheBytes = 32 << 20
+	}
+	if c.ReadFanOut <= 0 {
+		c.ReadFanOut = DefaultReadFanOut
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
@@ -137,6 +145,15 @@ type Cluster struct {
 	metrics *metrics.Registry
 	tracer  *metrics.Tracer
 
+	// Scatter-gather instrumentation, shared by every client of the
+	// cluster: batch waves issued (one per MultiGet/MultiGetRow/MultiApply/
+	// BroadcastScan/RawScan), the per-region RPCs those waves fanned out
+	// into, and the items they carried. RPCs/waves is the realized fan-out
+	// per wave; items/RPCs is the batching factor.
+	fanoutWaves *metrics.Counter
+	fanoutRPCs  *metrics.Counter
+	fanoutItems *metrics.Counter
+
 	// clock issues write timestamps. The paper uses each region server's
 	// System.currentTimeMillis (NTP-synchronized wall clocks); a single
 	// shared counter is the deterministic logical equivalent and keeps
@@ -158,12 +175,29 @@ func New(cfg Config) *Cluster {
 		metrics: cfg.Metrics,
 		tracer:  metrics.NewTracer(cfg.Metrics, cfg.SlowOpK, cfg.DisableTracing),
 	}
+	c.fanoutWaves = cfg.Metrics.Counter("diffindex_fanout_waves_total")
+	c.fanoutRPCs = cfg.Metrics.Counter("diffindex_fanout_rpcs_total")
+	c.fanoutItems = cfg.Metrics.Counter("diffindex_fanout_items_total")
+	cfg.Metrics.RegisterGaugeFunc("diffindex_read_fanout_width", func() int64 {
+		return int64(cfg.ReadFanOut)
+	})
 	c.Master = newMaster(c)
 	for i := 0; i < cfg.Servers; i++ {
 		id := fmt.Sprintf("rs%d", i+1)
 		c.servers[id] = newRegionServer(c, id)
 	}
 	return c
+}
+
+// noteWave records scatter-gather fan-out activity: rpcs per-region calls
+// carrying items batched items. newWave marks the first dispatch round of a
+// wave; retry rounds add their RPCs to the wave already counted.
+func (c *Cluster) noteWave(rpcs, items int, newWave bool) {
+	if newWave {
+		c.fanoutWaves.Inc()
+	}
+	c.fanoutRPCs.Add(int64(rpcs))
+	c.fanoutItems.Add(int64(items))
 }
 
 // RegisterCoprocessor attaches a coprocessor to a table. Register before

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunFanOutCoversAllIndices(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 8, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := runFanOut(width, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("width %d: index %d ran %d times", width, i, got)
+			}
+		}
+	}
+}
+
+// TestRunFanOutFirstErrorDeterministic checks the error contract: among
+// several failing indices, the LOWEST index's error is returned, no matter
+// how the workers interleave.
+func TestRunFanOutFirstErrorDeterministic(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 50; trial++ {
+		err := runFanOut(4, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errLow)
+		}
+	}
+}
+
+// TestRunFanOutSerialStopsEarly checks the width-1 baseline keeps the serial
+// loop's early-exit behaviour: nothing past the failing index runs.
+func TestRunFanOutSerialStopsEarly(t *testing.T) {
+	var ran []int
+	err := runFanOut(1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 4 {
+			return fmt.Errorf("stop at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "stop at 4" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 5 {
+		t.Fatalf("ran %v, want exactly indices 0..4", ran)
+	}
+}

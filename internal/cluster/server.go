@@ -281,6 +281,53 @@ func (s *RegionServer) Get(regionID string, key []byte, ts kv.Timestamp) (kv.Cel
 	return c, ok, mapStoreErr(err)
 }
 
+// GetResult is one item of a MultiGet reply. Found reports whether any
+// visible non-deleted version of the key exists.
+type GetResult struct {
+	Cell  kv.Cell
+	Found bool
+}
+
+// MultiGet serves a batch of point reads against one region in a single
+// RPC — the server half of the region-grouped read path. Results are
+// positional: out[i] answers keys[i].
+func (s *RegionServer) MultiGet(regionID string, keys [][]byte, ts kv.Timestamp) ([]GetResult, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GetResult, len(keys))
+	for i, key := range keys {
+		c, ok, err := region.store.Get(key, ts)
+		if err != nil {
+			return nil, mapStoreErr(err)
+		}
+		out[i] = GetResult{Cell: c, Found: ok}
+	}
+	return out, nil
+}
+
+// MultiGetRow serves a batch of whole-row reads against one region in a
+// single RPC. Results are positional: out[i] holds rows[i]'s visible
+// columns, nil when the row has none (matching Client.GetRow).
+func (s *RegionServer) MultiGetRow(regionID string, rows [][]byte, ts kv.Timestamp) ([]map[string][]byte, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string][]byte, len(rows))
+	for i, row := range rows {
+		cols, err := region.LocalGetRow(row, ts)
+		if err != nil {
+			return nil, mapStoreErr(err)
+		}
+		if len(cols) > 0 {
+			out[i] = cols
+		}
+	}
+	return out, nil
+}
+
 // Scan returns the visible versions of store keys in [start, end) at ts.
 func (s *RegionServer) Scan(regionID string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
 	region, err := s.region(regionID)

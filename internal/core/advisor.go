@@ -38,17 +38,29 @@ func (m *Manager) Cleanse(cl *cluster.Client, table string, columns ...string) (
 		return 0, 0, err
 	}
 	var repairs []kv.Cell
-	for _, e := range entries {
-		val, row, err := kv.SplitIndexKey(e.Key)
-		if err != nil {
-			return checked, repaired, fmt.Errorf("core: corrupt index key in %s: %w", def.Name(), err)
+	// Double-check in bounded waves: each chunk's base reads ship as one
+	// region-grouped MultiGet instead of one serial Get per entry-column.
+	const cleanseChunk = 512
+	for base := 0; base < len(entries); base += cleanseChunk {
+		chunk := entries[base:min(base+cleanseChunk, len(entries))]
+		vals := make([][]byte, len(chunk))
+		rows := make([][]byte, len(chunk))
+		for i, e := range chunk {
+			val, row, err := kv.SplitIndexKey(e.Key)
+			if err != nil {
+				return checked, repaired, fmt.Errorf("core: corrupt index key in %s: %w", def.Name(), err)
+			}
+			vals[i], rows[i] = val, row
 		}
-		checked++
-		keep, err := m.doubleCheck(cl, def, val, row)
+		keep, err := m.doubleCheckBatch(cl, def, vals, rows)
 		if err != nil {
 			return checked, repaired, err
 		}
-		if !keep {
+		checked += len(chunk)
+		for i, e := range chunk {
+			if keep[i] {
+				continue
+			}
 			repairs = append(repairs, kv.Cell{
 				Key:  append([]byte(nil), e.Key...),
 				Ts:   e.Ts,

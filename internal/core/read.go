@@ -76,38 +76,47 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 	m.Counters.IndexRead.Inc()
 	m.noteIndexRead(def.Name())
 
-	hits := make([]IndexHit, 0, len(entries))
-	var repairs []kv.Cell // stale entries to delete, shipped as one batch
-	var checkDur time.Duration
-	for _, e := range entries {
+	// Split every entry up front so SR2 can batch all double checks.
+	vals := make([][]byte, len(entries))
+	rows := make([][]byte, len(entries))
+	for i, e := range entries {
 		val, row, err := kv.SplitIndexKey(e.Key)
 		if err != nil {
 			return nil, fmt.Errorf("core: corrupt index key in %s: %w", def.Name(), err)
 		}
-		if def.Scheme == SyncInsert {
-			// SR2: double check. Read the base row's current indexed
-			// value; a mismatch means this entry is stale — collect its
-			// delete for the batched repair below.
-			checkStart := time.Now()
-			keep, err := m.doubleCheck(cl, def, val, row)
-			checkDur += time.Since(checkStart)
-			if err != nil {
-				return nil, err
-			}
-			if !keep {
-				repairs = append(repairs, kv.Cell{
-					Key:  append([]byte(nil), e.Key...),
-					Ts:   e.Ts,
-					Kind: kv.KindDelete,
-				})
-				continue
-			}
-		}
-		hits = append(hits, IndexHit{Row: append([]byte(nil), row...), Ts: e.Ts})
+		vals[i], rows[i] = val, row
 	}
-	if checkDur > 0 {
+
+	// SR2: double check, batched. One region-grouped MultiGet wave reads
+	// every entry's indexed base columns; a mismatch with the entry's index
+	// value means the entry is stale — its delete joins the batched repair
+	// below. The wave replaces len(entries) × len(def.Columns) serial Get
+	// round trips with one concurrent RPC per destination region.
+	var keep []bool
+	if def.Scheme == SyncInsert && len(entries) > 0 {
+		checkStart := time.Now()
+		var err error
+		keep, err = m.doubleCheckBatch(cl, def, vals, rows)
+		checkDur := time.Since(checkStart)
 		m.stageHist(metrics.StageCheck, def.Table).RecordDuration(checkDur)
 		tr.AddStage(metrics.StageCheck, checkDur)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	hits := make([]IndexHit, 0, len(entries))
+	var repairs []kv.Cell // stale entries to delete, shipped as one batch
+	for i, e := range entries {
+		if keep != nil && !keep[i] {
+			repairs = append(repairs, kv.Cell{
+				Key:  append([]byte(nil), e.Key...),
+				Ts:   e.Ts,
+				Kind: kv.KindDelete,
+			})
+			continue
+		}
+		hits = append(hits, IndexHit{Row: append([]byte(nil), rows[i]...), Ts: e.Ts})
 	}
 	// Algorithm 2's clean step, region-batched: all stale entries found by
 	// this read are deleted with one Apply per destination region instead
@@ -132,8 +141,12 @@ func (m *Manager) readIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, lim
 // row's region, so no double check is needed. Results are merged into
 // index-value order.
 func (m *Manager) readLocalIndex(cl *cluster.Client, def IndexDef, lo, hi []byte, limit int, tr *metrics.Trace) ([]IndexHit, error) {
+	// The limit is pushed down per region: each region returns at most
+	// limit entries, and since the global smallest limit entries are always
+	// among the union of per-region smallest limit entries, the sort-and-
+	// truncate below still yields the exact answer.
 	scanStart := time.Now()
-	entries, err := cl.BroadcastScan(def.Table, lo, hi, kv.MaxTimestamp, 0)
+	entries, err := cl.BroadcastScan(def.Table, lo, hi, kv.MaxTimestamp, limit)
 	scanDur := time.Since(scanStart)
 	m.stageHist(metrics.StageIndexScan, def.Table).RecordDuration(scanDur)
 	tr.AddStage(metrics.StageIndexScan, scanDur)
@@ -158,38 +171,66 @@ func (m *Manager) readLocalIndex(cl *cluster.Client, def IndexDef, lo, hi []byte
 	return hits, nil
 }
 
-// doubleCheck implements the check half of Algorithm 2's loop: compare the
-// index entry's value with the base table's current value for the row. A
-// false result means the entry is stale; the caller batches its deletion
-// (the clean half) with every other stale entry found by the same read.
-func (m *Manager) doubleCheck(cl *cluster.Client, def IndexDef, indexVal, row []byte) (bool, error) {
-	cols := make(map[string][]byte, len(def.Columns))
-	for _, c := range def.Columns {
-		v, _, ok, err := cl.Get(def.Table, row, c)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			cols[c] = v
+// doubleCheckBatch implements the check half of Algorithm 2's loop for a
+// whole index read at once: compare each index entry's value with the base
+// table's current value for its row. All entries' base-column reads ship in
+// ONE region-grouped MultiGet wave (one concurrent RPC per destination
+// region) before any keep/repair decision is made. keep[i] == false means
+// entry i is stale; the caller batches its deletion (the clean half) with
+// every other stale entry found by the same read.
+func (m *Manager) doubleCheckBatch(cl *cluster.Client, def IndexDef, indexVals, rows [][]byte) ([]bool, error) {
+	specs := make([]cluster.GetSpec, 0, len(rows)*len(def.Columns))
+	for _, row := range rows {
+		for _, c := range def.Columns {
+			specs = append(specs, cluster.GetSpec{Route: row, Key: kv.BaseKey(row, []byte(c))})
 		}
 	}
-	m.Counters.BaseRead.Inc()
-	baseVal, ok := indexValue(def, cols)
-	return ok && bytes.Equal(baseVal, indexVal), nil
+	res, err := cl.MultiGet(def.Table, specs, kv.MaxTimestamp)
+	if err != nil {
+		return nil, err
+	}
+	m.Counters.BaseRead.Add(int64(len(rows)))
+	keep := make([]bool, len(rows))
+	for i := range rows {
+		cols := make(map[string][]byte, len(def.Columns))
+		for j, c := range def.Columns {
+			if r := res[i*len(def.Columns)+j]; r.Found {
+				cols[c] = r.Cell.Value
+			}
+		}
+		baseVal, ok := indexValue(def, cols)
+		keep[i] = ok && bytes.Equal(baseVal, indexVals[i])
+	}
+	return keep, nil
 }
 
 // FetchRows resolves index hits to full base rows, preserving hit order.
-// Rows deleted between the index read and the fetch are skipped.
+// Rows deleted between the index read and the fetch are skipped. All hits
+// resolve in one region-grouped MultiGetRow wave — one concurrent RPC per
+// destination region instead of one serial GetRow round trip per hit.
 func (m *Manager) FetchRows(cl *cluster.Client, table string, hits []IndexHit) ([]cluster.Row, error) {
 	rows := make([]cluster.Row, 0, len(hits))
-	for _, h := range hits {
-		cols, err := cl.GetRow(table, h.Row)
-		if err != nil {
-			return nil, err
-		}
-		m.Counters.BaseRead.Inc()
+	if len(hits) == 0 {
+		return rows, nil
+	}
+	tr := m.cluster.Tracer().Start("fetch-rows", table)
+	defer m.cluster.Tracer().Finish(tr)
+	keys := make([][]byte, len(hits))
+	for i, h := range hits {
+		keys[i] = h.Row
+	}
+	waveStart := time.Now()
+	colsByHit, err := cl.MultiGetRow(table, keys)
+	waveDur := time.Since(waveStart)
+	m.stageHist(metrics.StageMultiGet, table).RecordDuration(waveDur)
+	tr.AddStage(metrics.StageMultiGet, waveDur)
+	if err != nil {
+		return nil, err
+	}
+	m.Counters.BaseRead.Add(int64(len(hits)))
+	for i, cols := range colsByHit {
 		if cols != nil {
-			rows = append(rows, cluster.Row{Key: append([]byte(nil), h.Row...), Cols: cols})
+			rows = append(rows, cluster.Row{Key: append([]byte(nil), hits[i].Row...), Cols: cols})
 		}
 	}
 	return rows, nil

@@ -1,0 +1,70 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+// TestGetAcrossDisjointRangeTables flushes several tables with disjoint
+// key ranges — the layout the point-read range skip targets — and checks
+// lookups stay correct: keys resolve from the one table whose range holds
+// them, absent keys inside and outside every range report not-found, and
+// overlapping-range tables still resolve to the newest version.
+func TestGetAcrossDisjointRangeTables(t *testing.T) {
+	fs := vfs.NewMemFS()
+	s := newTestStore(t, fs)
+	defer s.Close()
+
+	// Three disjoint-range tables: a000-a099, m000-m099, z000-z099.
+	for gi, group := range []string{"a", "m", "z"} {
+		for i := 0; i < 100; i++ {
+			key := []byte(fmt.Sprintf("%s%03d", group, i))
+			val := []byte(fmt.Sprintf("%s-v%d", group, i))
+			if err := s.Put(key, val, kv.Timestamp(gi*100+i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TableCount() != 3 {
+		t.Fatalf("TableCount = %d, want 3", s.TableCount())
+	}
+
+	for _, group := range []string{"a", "m", "z"} {
+		for _, i := range []int{0, 42, 99} {
+			key := []byte(fmt.Sprintf("%s%03d", group, i))
+			c, ok, err := s.Get(key, kv.MaxTimestamp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("%s-v%d", group, i)
+			if !ok || string(c.Value) != want {
+				t.Errorf("Get(%s) = %q ok=%v, want %q", key, c.Value, ok, want)
+			}
+		}
+	}
+	// Absent keys: between ranges, inside a range, outside all ranges.
+	for _, key := range []string{"b500", "m100", "x000", "0000", "zz"} {
+		if _, ok, err := s.Get([]byte(key), kv.MaxTimestamp); err != nil || ok {
+			t.Errorf("Get(%s): ok=%v err=%v, want miss", key, ok, err)
+		}
+	}
+
+	// A fourth table overlapping the middle range: newest version wins even
+	// though an older table's range also contains the key.
+	if err := s.Put([]byte("m042"), []byte("newer"), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c, ok, err := s.Get([]byte("m042"), kv.MaxTimestamp)
+	if err != nil || !ok || string(c.Value) != "newer" {
+		t.Errorf("Get(m042) = %q ok=%v err=%v, want \"newer\"", c.Value, ok, err)
+	}
+}

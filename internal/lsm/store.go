@@ -470,6 +470,13 @@ func (s *Store) GetCell(key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
 		}
 	}
 	for _, h := range tables {
+		// Skip tables whose [smallest, largest] user-key range excludes the
+		// key: a zero-I/O bound check (the bounds ride the index block) that
+		// spares the Bloom probe and any block read on stores with many
+		// non-overlapping tables.
+		if !h.r.MayContainKey(key) {
+			continue
+		}
 		c, ok, err := h.r.Get(key, ts)
 		if err != nil {
 			return kv.Cell{}, false, err

@@ -24,6 +24,7 @@ const (
 	StageIndexScan  = "index-scan"   // index-table scan of an index read
 	StageCheck      = "double-check" // sync-insert read-repair double checks (Algorithm 2)
 	StageRepair     = "repair"       // batched deletion of stale entries found by a read
+	StageMultiGet   = "multi-get"    // region-grouped batch read wave (FetchRows, SR2 batch)
 )
 
 // Stage is one attributed span of an operation's pipeline.

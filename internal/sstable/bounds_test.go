@@ -1,0 +1,73 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+// TestUserKeyBoundsPersisted checks both user-key bounds survive a
+// write/open round trip — the smallest comes from the index-block prefix,
+// not a data-block read.
+func TestUserKeyBoundsPersisted(t *testing.T) {
+	fs := vfs.NewMemFS()
+	var cells []kv.Cell
+	for i := 100; i < 200; i++ {
+		cells = append(cells, kv.Cell{
+			Key:   []byte(fmt.Sprintf("user%04d", i)),
+			Value: []byte("v"),
+			Ts:    1,
+			Kind:  kv.KindPut,
+		})
+	}
+	buildTable(t, fs, "b.sst", cells)
+	r, err := Open(fs, "b.sst", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := string(r.SmallestUserKey()); got != "user0100" {
+		t.Errorf("SmallestUserKey = %q, want %q", got, "user0100")
+	}
+	if got := string(r.LargestUserKey()); got != "user0199" {
+		t.Errorf("LargestUserKey = %q, want %q", got, "user0199")
+	}
+}
+
+func TestMayContainKey(t *testing.T) {
+	fs := vfs.NewMemFS()
+	var cells []kv.Cell
+	for i := 100; i < 200; i += 10 {
+		cells = append(cells, kv.Cell{
+			Key:   []byte(fmt.Sprintf("user%04d", i)),
+			Value: []byte("v"),
+			Ts:    1,
+			Kind:  kv.KindPut,
+		})
+	}
+	buildTable(t, fs, "m.sst", cells)
+	r, err := Open(fs, "m.sst", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, tc := range []struct {
+		key  string
+		want bool
+	}{
+		{"user0099", false}, // below smallest
+		{"user0100", true},  // exactly smallest
+		{"user0105", true},  // inside (even though absent — range check only)
+		{"user0190", true},  // exactly largest
+		{"user0191", false}, // above largest
+		{"zzz", false},
+		{"", false},
+	} {
+		if got := r.MayContainKey([]byte(tc.key)); got != tc.want {
+			t.Errorf("MayContainKey(%q) = %v, want %v", tc.key, got, tc.want)
+		}
+	}
+}

@@ -76,8 +76,13 @@ type indexEntry struct {
 	handle  blockHandle
 }
 
-func marshalIndex(entries []indexEntry) []byte {
+// marshalIndex serializes the block index, prefixed with the table's
+// smallest user key so readers recover both user-key bounds without a data-
+// block read (the largest comes from the final entry's last key).
+func marshalIndex(smallest []byte, entries []indexEntry) []byte {
 	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(smallest)))
+	out = append(out, smallest...)
 	out = binary.AppendUvarint(out, uint64(len(entries)))
 	for _, e := range entries {
 		out = binary.AppendUvarint(out, uint64(len(e.lastKey)))
@@ -88,34 +93,43 @@ func marshalIndex(entries []indexEntry) []byte {
 	return out
 }
 
-func unmarshalIndex(b []byte) ([]indexEntry, error) {
-	n, sz := binary.Uvarint(b)
-	if sz <= 0 {
-		return nil, fmt.Errorf("%w: index count", ErrBadTable)
+func unmarshalIndex(b []byte) (smallest []byte, entries []indexEntry, err error) {
+	slen, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b[sz:])) < slen {
+		return nil, nil, fmt.Errorf("%w: index smallest key", ErrBadTable)
 	}
 	b = b[sz:]
-	entries := make([]indexEntry, 0, n)
+	if slen > 0 {
+		smallest = append([]byte(nil), b[:slen]...)
+		b = b[slen:]
+	}
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("%w: index count", ErrBadTable)
+	}
+	b = b[sz:]
+	entries = make([]indexEntry, 0, n)
 	for i := uint64(0); i < n; i++ {
 		klen, sz := binary.Uvarint(b)
 		if sz <= 0 || uint64(len(b[sz:])) < klen {
-			return nil, fmt.Errorf("%w: index key", ErrBadTable)
+			return nil, nil, fmt.Errorf("%w: index key", ErrBadTable)
 		}
 		b = b[sz:]
 		key := append([]byte(nil), b[:klen]...)
 		b = b[klen:]
 		off, sz := binary.Uvarint(b)
 		if sz <= 0 {
-			return nil, fmt.Errorf("%w: index offset", ErrBadTable)
+			return nil, nil, fmt.Errorf("%w: index offset", ErrBadTable)
 		}
 		b = b[sz:]
 		length, sz := binary.Uvarint(b)
 		if sz <= 0 {
-			return nil, fmt.Errorf("%w: index length", ErrBadTable)
+			return nil, nil, fmt.Errorf("%w: index length", ErrBadTable)
 		}
 		b = b[sz:]
 		entries = append(entries, indexEntry{lastKey: key, handle: blockHandle{off, length}})
 	}
-	return entries, nil
+	return smallest, entries, nil
 }
 
 // appendBlockEntry appends one key/value entry to a data block.

@@ -1,6 +1,7 @@
 package sstable
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -21,9 +22,10 @@ type Reader struct {
 	index  []indexEntry
 	filter *bloom.Filter
 
-	largest []byte // largest user key, from the index block
-	count   uint64
-	size    int64
+	smallest []byte // smallest user key, from the index block
+	largest  []byte // largest user key, from the index block
+	count    uint64
+	size     int64
 }
 
 // Open opens a finished table file. cache may be nil to disable block
@@ -58,7 +60,7 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("sstable: read index of %s: %w", name, err)
 	}
-	index, err := unmarshalIndex(idxBuf)
+	smallest, index, err := unmarshalIndex(idxBuf)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -78,18 +80,19 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 	}
 
 	r := &Reader{
-		f:      f,
-		name:   name,
-		cache:  cache,
-		index:  index,
-		filter: filter,
-		count:  ftr.entryCount,
-		size:   size,
+		f:        f,
+		name:     name,
+		cache:    cache,
+		index:    index,
+		filter:   filter,
+		smallest: smallest,
+		count:    ftr.entryCount,
+		size:     size,
 	}
 	if len(index) > 0 {
-		// Recover user-key bounds from the index: the first block's first
-		// key requires a block read, so derive bounds lazily from the last
-		// keys instead; smallest is loaded from block 0 on first use.
+		// Recover user-key bounds without a data-block read: the smallest
+		// key is persisted at the head of the index block, the largest is
+		// the final block's last key.
 		r.largest = append([]byte(nil), kv.InternalUserKey(index[len(index)-1].lastKey)...)
 	}
 	return r, nil
@@ -104,9 +107,24 @@ func (r *Reader) EntryCount() uint64 { return r.count }
 // Size returns the file size in bytes.
 func (r *Reader) Size() int64 { return r.size }
 
+// SmallestUserKey returns the smallest user key in the table (nil for an
+// empty table).
+func (r *Reader) SmallestUserKey() []byte { return r.smallest }
+
 // LargestUserKey returns the largest user key in the table (nil for an empty
 // table).
 func (r *Reader) LargestUserKey() []byte { return r.largest }
+
+// MayContainKey reports whether userKey falls inside the table's
+// [smallest, largest] user-key range — a zero-I/O pre-check point reads use
+// to skip tables that cannot hold the key. Conservative: an empty range
+// (no persisted bounds) returns true.
+func (r *Reader) MayContainKey(userKey []byte) bool {
+	if r.smallest == nil || r.largest == nil {
+		return len(r.index) > 0
+	}
+	return bytes.Compare(userKey, r.smallest) >= 0 && bytes.Compare(userKey, r.largest) <= 0
+}
 
 // Close releases the underlying file handle.
 func (r *Reader) Close() error { return r.f.Close() }

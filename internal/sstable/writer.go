@@ -105,7 +105,7 @@ func (w *Writer) Finish() error {
 	}
 	w.blockOff += uint64(len(filter))
 
-	idx := marshalIndex(w.index)
+	idx := marshalIndex(w.smallest, w.index)
 	ftr.indexOff = w.blockOff
 	ftr.indexLen = uint64(len(idx))
 	if _, err := w.f.Write(idx); err != nil {
