@@ -18,6 +18,9 @@
 #      refresh the golden with `go test ./internal/metrics -run Golden -update-golden`)
 #   7. benchmark smoke    — every benchmark compiles and survives one
 #      iteration (catches bit-rot in bench-only code paths)
+#   8. chaos              — fixed-seed fault-injection verdict via
+#      cmd/chaoskit: all four schemes under crashes, partitions, disk and
+#      network faults must uphold every invariant (DESIGN.md §9)
 set -eu
 cd "$(dirname "$0")"
 
@@ -46,5 +49,12 @@ go test -race -run Metrics ./...
 
 echo "== benchmark smoke (one iteration each) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
+
+echo "== chaos (fixed-seed fault injection, all four schemes) =="
+# Deterministic verdict run: seeded crashes/partitions/disk+net faults under
+# a live workload, every invariant checked per scheme (DESIGN.md §9). The
+# -race chaos smoke already ran in step 5; this exercises the CLI verdict
+# path end to end. Short duration keeps the pass bounded (~10 s).
+go run ./cmd/chaoskit -seed 1 -scenarios 4 -duration 400ms -trace=false
 
 echo "CI PASSED"

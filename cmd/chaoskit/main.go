@@ -1,0 +1,126 @@
+// Command chaoskit runs seeded chaos scenarios against the Diff-Index
+// cluster and prints a per-scheme verdict table. Every scenario derives its
+// event schedule, fault decision streams and workload key choices from one
+// root seed, so a failing run replays bit-identically:
+//
+//	go run ./cmd/chaoskit -seed 1 -scenarios 5
+//
+// Scenario i uses seed root+i and rotates through the four index schemes,
+// so five scenarios cover every scheme at least once. Exit status is 0 iff
+// every scenario upheld every invariant. -ablation additionally runs the
+// §5.3 drain-on-flush negative control, which must produce violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "root seed; schedule, faults and workload all derive from it")
+	scenarios := flag.Int("scenarios", 5, "number of scenarios (index scheme rotates per scenario)")
+	servers := flag.Int("servers", 3, "region servers per scenario")
+	records := flag.Int64("records", 240, "item-table size")
+	threads := flag.Int("threads", 3, "workload threads")
+	duration := flag.Duration("duration", 1200*time.Millisecond, "chaos window per scenario")
+	ablation := flag.Bool("ablation", false, "also run the drain-on-flush ablation pair (broken run MUST violate)")
+	trace := flag.Bool("trace", true, "print each scenario's planned event trace")
+	flag.Parse()
+
+	schemes := []diffindex.Scheme{diffindex.SyncFull, diffindex.SyncInsert, diffindex.AsyncSimple, diffindex.AsyncSession}
+	fmt.Printf("chaoskit: %d scenario(s), root seed %d, %d server(s), %d record(s), %v window\n",
+		*scenarios, *seed, *servers, *records, *duration)
+
+	type verdict struct {
+		name    string
+		res     *chaos.Result
+		wantBad bool // ablation's broken run is REQUIRED to violate
+	}
+	var verdicts []verdict
+	fail := false
+
+	for i := 0; i < *scenarios; i++ {
+		cfg := chaos.ScenarioConfig{
+			Seed:     *seed + int64(i),
+			Scheme:   schemes[i%len(schemes)],
+			Servers:  *servers,
+			Records:  *records,
+			Threads:  *threads,
+			Duration: *duration,
+		}
+		fmt.Printf("\n— scenario %d/%d: scheme=%s seed=%d\n", i+1, *scenarios, cfg.Scheme, cfg.Seed)
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Printf("  ERROR: %v\n", err)
+			fail = true
+			continue
+		}
+		if *trace {
+			for _, line := range res.Schedule.Trace() {
+				fmt.Println("  " + line)
+			}
+		}
+		report(res)
+		verdicts = append(verdicts, verdict{name: fmt.Sprintf("#%d %s", i+1, cfg.Scheme), res: res})
+		if !res.OK() {
+			fail = true
+		}
+	}
+
+	if *ablation {
+		for _, broken := range []bool{false, true} {
+			label := "drain ON (control)"
+			if broken {
+				label = "drain OFF (broken)"
+			}
+			fmt.Printf("\n— ablation: %s\n", label)
+			res, err := chaos.RunDrainAblation(*seed, broken)
+			if err != nil {
+				fmt.Printf("  ERROR: %v\n", err)
+				fail = true
+				continue
+			}
+			report(res)
+			verdicts = append(verdicts, verdict{name: "ablation " + label, res: res, wantBad: broken})
+			if broken && len(res.Violations) == 0 {
+				fmt.Println("  ERROR: broken recovery produced no violations — checkers are blind")
+				fail = true
+			}
+			if !broken && !res.OK() {
+				fail = true
+			}
+		}
+	}
+
+	fmt.Printf("\n%-28s %8s %6s %7s %8s %11s %10s %8s\n",
+		"scenario", "ops", "errs", "faults", "checked", "violations", "converged", "elapsed")
+	for _, v := range verdicts {
+		r := v.res
+		vio := fmt.Sprintf("%d", len(r.Violations))
+		if v.wantBad {
+			vio += " (expected)"
+		}
+		fmt.Printf("%-28s %8d %6d %7d %8d %11s %10v %8s\n",
+			v.name, r.Ops, r.OpErrors, r.DiskFaults+r.NetDrops+r.NetDelays,
+			r.Checked, vio, r.Converged, r.Elapsed.Round(time.Millisecond))
+	}
+	if fail {
+		fmt.Println("\nRESULT: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("\nRESULT: PASS — every invariant held")
+}
+
+func report(res *chaos.Result) {
+	for _, n := range res.Notes {
+		fmt.Println("  note: " + n)
+	}
+	for _, v := range res.Violations {
+		fmt.Println("  VIOLATION " + v.String())
+	}
+}

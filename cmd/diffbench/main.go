@@ -38,6 +38,7 @@ func main() {
 	var (
 		experiment  = flag.String("experiment", "all", "experiment ID, or 'all'")
 		profile     = flag.String("profile", "small", "environment profile: small | paper")
+		seed        = flag.Int64("seed", 1, "root seed; every experiment's key streams derive from it")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		format      = flag.String("format", "table", "output format: table | csv")
 		metricsInt  = flag.Duration("metrics", 0, "stream live metrics JSON to stderr every interval (0 disables)")
@@ -76,6 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q (want small or paper)\n", *profile)
 		os.Exit(2)
 	}
+	p.Seed = *seed
 
 	var exps []bench.Experiment
 	if *experiment == "all" {

@@ -80,6 +80,11 @@ type Options struct {
 	DiskWriteLatency time.Duration
 	DiskSyncLatency  time.Duration
 
+	// BaseFS, when non-nil, is the file system the cluster's simulated disk
+	// wraps instead of a fresh in-memory FS. The chaos harness passes a
+	// vfs.FaultFS here so seeded disk faults compose with the latency model.
+	BaseFS vfs.FS
+
 	// BlockCacheBytes sizes each server's block cache (default 32 MiB;
 	// negative disables caching).
 	BlockCacheBytes int64
@@ -150,6 +155,7 @@ func Open(opts Options) *DB {
 			WriteLatency: opts.DiskWriteLatency,
 			SyncLatency:  opts.DiskSyncLatency,
 		},
+		BaseFS:              opts.BaseFS,
 		BlockCacheBytes:     opts.BlockCacheBytes,
 		MemtableBytes:       opts.MemtableBytes,
 		MaxVersions:         opts.MaxVersions,
@@ -231,6 +237,12 @@ func (db *DB) LiveServers() []string { return db.c.LiveServerIDs() }
 // CrashServer kills a region server; its regions recover on live servers
 // via WAL replay, and lost asynchronous index work is re-enqueued (§5.3).
 func (db *DB) CrashServer(id string) error { return db.c.Master.CrashServer(id) }
+
+// RestartServer brings a crashed region server back online. The server
+// rejoins empty and receives region assignments again; each moved region
+// replays its WAL and re-enqueues asynchronous index work, exactly as in
+// crash recovery (§5.3).
+func (db *DB) RestartServer(id string) error { return db.c.Master.RestartServer(id) }
 
 // RegionDesc describes one region of a table.
 type RegionDesc struct {

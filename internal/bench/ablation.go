@@ -152,7 +152,7 @@ func AblationBlockCache(p Profile) (Report, error) {
 			Duration:     p.RunTime,
 			Mix:          map[workload.OpKind]float64{workload.OpIndexRead: 1.0},
 			Distribution: "uniform",
-			Seed:         13,
+			Seed:         p.SeedFor("ablate-cache", 13),
 		})
 		lat := res.PerOp[workload.OpIndexRead].Snapshot()
 		r.AddRow(fmt.Sprint(cached), us(lat.Mean), usInt(lat.P95))
@@ -188,7 +188,7 @@ func AblationQueueCapacity(p Profile) (Report, error) {
 			Threads:      16,
 			Duration:     p.RunTime,
 			Distribution: "zipfian",
-			Seed:         17,
+			Seed:         p.SeedFor("ablate-auq", 17),
 		})
 		lat := res.PerOp[workload.OpUpdate].Snapshot()
 		r.AddRow(fmt.Sprint(capacity), us(lat.Mean), usInt(lat.P95), fmt.Sprintf("%.0f", res.TPS))

@@ -12,6 +12,8 @@
 package bench
 
 import (
+	"fmt"
+	"hash/fnv"
 	"time"
 
 	"diffindex"
@@ -50,6 +52,26 @@ type Profile struct {
 	BlockCacheBytes int64
 	// MemtableBytes is the per-region flush threshold.
 	MemtableBytes int64
+
+	// Seed is the root seed every per-experiment key stream derives from
+	// (via SeedFor). Two runs with the same profile and seed replay the
+	// same key sequences; diffbench's -seed flag sets it. Zero means the
+	// default root of 1.
+	Seed int64
+}
+
+// SeedFor derives the seed for one workload stream from the profile's root
+// seed. salt names the experiment and k separates streams within it (e.g.
+// the thread count of a sweep point), so no two streams collide while all
+// remain functions of the single root.
+func (p Profile) SeedFor(salt string, k int64) int64 {
+	root := p.Seed
+	if root == 0 {
+		root = 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%d", root, salt, k)
+	return int64(h.Sum64() >> 1) // non-negative
 }
 
 // Small returns the quick profile used by `go test -bench` and the default

@@ -17,7 +17,7 @@ func warmReads(db *diffindex.DB, p Profile) {
 		TotalOps:     p.Records / 4,
 		Mix:          map[workload.OpKind]float64{workload.OpIndexRead: 1.0},
 		Distribution: "uniform",
-		Seed:         99,
+		Seed:         p.SeedFor("warm-read", 99),
 	})
 }
 
@@ -44,7 +44,7 @@ func Fig8(p Profile) (Report, error) {
 				Duration:     p.RunTime,
 				Mix:          map[workload.OpKind]float64{workload.OpIndexRead: 1.0},
 				Distribution: "zipfian",
-				Seed:         int64(threads),
+				Seed:         p.SeedFor("fig8", int64(threads)),
 			})
 			lat := res.PerOp[workload.OpIndexRead].Snapshot()
 			r.AddRow(s.Label, fmt.Sprint(threads), fmt.Sprintf("%.0f", res.TPS), us(lat.Mean), usInt(lat.P95))
@@ -92,7 +92,7 @@ func Fig9(p Profile) (Report, error) {
 				Mix:              map[workload.OpKind]float64{workload.OpRangeRead: 1.0},
 				RangeSelectivity: sel,
 				Distribution:     "uniform",
-				Seed:             7,
+				Seed:             p.SeedFor("fig9", 7),
 			})
 			lat := res.PerOp[workload.OpRangeRead].Snapshot()
 			rows := int64(sel * float64(p.Records))
@@ -121,7 +121,7 @@ func warmRange(db *diffindex.DB, p Profile) {
 		Mix:              map[workload.OpKind]float64{workload.OpRangeRead: 1.0},
 		RangeSelectivity: 0.05,
 		Distribution:     "uniform",
-		Seed:             98,
+		Seed:             p.SeedFor("warm-range", 98),
 	})
 }
 

@@ -26,7 +26,7 @@ func Fig11(p Profile) (Report, error) {
 		Threads:      p.ThreadSweep[len(p.ThreadSweep)-1],
 		Duration:     p.RunTime,
 		Distribution: "zipfian",
-		Seed:         1,
+		Seed:         p.SeedFor("fig11-saturate", 1),
 	})
 	db.WaitForIndexes(waitLong)
 
@@ -46,7 +46,7 @@ func Fig11(p Profile) (Report, error) {
 			Duration:     p.RunTime,
 			TargetTPS:    target,
 			Distribution: "zipfian",
-			Seed:         int64(f * 100),
+			Seed:         p.SeedFor("fig11", int64(f*100)),
 		})
 		// Include completions that land shortly after the run ends.
 		db.WaitForIndexes(waitLong)
@@ -88,7 +88,7 @@ func AsyncVsSyncFullThroughput(p Profile) (Report, error) {
 				Threads:      threads,
 				Duration:     p.RunTime,
 				Distribution: "zipfian",
-				Seed:         int64(threads),
+				Seed:         p.SeedFor("asyncpeak", int64(threads)),
 			})
 			if res.TPS > best {
 				best, bestThreads = res.TPS, threads

@@ -57,7 +57,7 @@ func RunUpdateSweep(p Profile, schemes []SchemeSet) ([]UpdatePoint, error) {
 				Threads:      threads,
 				Duration:     p.RunTime,
 				Distribution: "zipfian",
-				Seed:         int64(threads),
+				Seed:         p.SeedFor("update-sweep", int64(threads)),
 			})
 			lat := res.PerOp[workload.OpUpdate].Snapshot()
 			points = append(points, UpdatePoint{

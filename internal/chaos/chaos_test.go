@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"diffindex"
+)
+
+func TestPlanIsDeterministicAndPaired(t *testing.T) {
+	cfg := PlanConfig{
+		Duration: time.Second,
+		Servers:  []string{"rs1", "rs2", "rs3"},
+		Crashes:  2, Partitions: 2, Flushes: 2, Splits: 1,
+		DiskFaultWindows: 1, NetFaultWindows: 1,
+	}
+	a, b := Plan(99, cfg), Plan(99, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if reflect.DeepEqual(a, Plan(100, cfg)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	counts := make(map[EventKind]int)
+	last := time.Duration(-1)
+	for _, e := range a {
+		counts[e.Kind]++
+		if e.At < last {
+			t.Fatalf("schedule not time-ordered at %v", e)
+		}
+		last = e.At
+	}
+	for _, pair := range [][2]EventKind{
+		{EvCrash, EvRestart}, {EvPartition, EvHeal},
+		{EvDiskFault, EvDiskCalm}, {EvNetFault, EvNetCalm},
+	} {
+		if counts[pair[0]] != counts[pair[1]] {
+			t.Errorf("%s/%s unpaired: %d vs %d", pair[0], pair[1], counts[pair[0]], counts[pair[1]])
+		}
+	}
+	if counts[EvCrash] != cfg.Crashes {
+		t.Errorf("crashes = %d, want %d", counts[EvCrash], cfg.Crashes)
+	}
+}
+
+// The fixed-seed smoke test: a small cluster under the full fault schedule
+// must uphold every invariant, for every scheme. Run with -race in CI.
+func TestChaosSmoke(t *testing.T) {
+	schemes := []diffindex.Scheme{
+		diffindex.SyncFull, diffindex.SyncInsert,
+		diffindex.AsyncSimple, diffindex.AsyncSession,
+	}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, err := Run(ScenarioConfig{
+				Seed:     1,
+				Scheme:   scheme,
+				Servers:  3,
+				Records:  120,
+				Threads:  2,
+				Duration: 400 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Error("async index work did not converge after quiescence")
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			if res.Ops == 0 {
+				t.Error("workload made no progress")
+			}
+			if res.Checked == 0 {
+				t.Error("checkers evaluated nothing")
+			}
+		})
+	}
+}
+
+// The negative control: with the §5.3 drain-on-flush protocol disabled, a
+// flush+crash must LOSE queued index updates and the checkers must say so.
+// A clean pass here would mean the harness cannot detect real loss.
+func TestDrainAblationCaughtByCheckers(t *testing.T) {
+	clean, err := RunDrainAblation(5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Violations) != 0 {
+		t.Fatalf("healthy protocol produced violations: %v", clean.Violations)
+	}
+
+	broken, err := RunDrainAblation(5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken.Violations) == 0 {
+		t.Fatal("drain-disabled recovery produced no violations — checkers are blind to index loss")
+	}
+	byInv := make(map[string]int)
+	for _, v := range broken.Violations {
+		byInv[v.Invariant]++
+	}
+	if byInv["index-complete"] == 0 {
+		t.Errorf("want index-complete (lost entry) violations, got %v", byInv)
+	}
+	if byInv["index-exact"] == 0 {
+		t.Errorf("want index-exact (stale entry) violations, got %v", byInv)
+	}
+}

@@ -1,0 +1,234 @@
+// Package chaos is the deterministic fault-injection and invariant-checking
+// harness for the Diff-Index cluster. It provokes the failures the paper's
+// recovery protocol (§5.3) must survive — region-server crashes and
+// restarts, flushes and splits racing a live workload, network partitions,
+// dropped/delayed messages, and failed or torn disk writes — and then
+// verifies, per index scheme, the consistency contract the paper promises:
+//
+//	sync-full      exact base↔index agreement
+//	sync-insert    stale entries only (cleansable; no lost entries)
+//	async-simple   exact agreement after the AUQ drains
+//	async-session  async-simple plus read-your-writes inside a session
+//	(all schemes)  every acknowledged write survives crash + recovery
+//
+// Everything derives from one root seed: the event schedule, the fault
+// decision streams (vfs.FaultFS, simnet message faults) and the workload
+// key choices, so a failing run replays from its seed alone.
+//
+// Architecture: a Schedule (this file) is a pure function of the seed; the
+// Runner (runner.go) fires it against a live cluster while a workload runs
+// and a model records acknowledged writes; the invariant checkers
+// (invariants.go) compare cluster state against the model after quiescence.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EventKind names one chaos action.
+type EventKind string
+
+// The chaos event vocabulary. Window kinds come in arm/calm or cut/heal
+// pairs; point kinds fire once.
+const (
+	EvCrash     EventKind = "crash"      // kill a region server (Master.CrashServer)
+	EvRestart   EventKind = "restart"    // rejoin it (Master.RestartServer)
+	EvFlush     EventKind = "flush"      // flush every region (drains AUQs first, §5.3)
+	EvSplit     EventKind = "split"      // split one region of the base table
+	EvPartition EventKind = "partition"  // cut the "a|b" server pair
+	EvHeal      EventKind = "heal"       // heal the "a|b" server pair
+	EvDiskFault EventKind = "disk-fault" // arm the FaultFS (failed/torn writes, fsync errors)
+	EvDiskCalm  EventKind = "disk-calm"  // disarm the FaultFS
+	EvNetFault  EventKind = "net-fault"  // arm simnet message drop/delay
+	EvNetCalm   EventKind = "net-calm"   // disarm simnet message faults
+)
+
+// Event is one scheduled chaos action.
+type Event struct {
+	// At is the offset from workload start.
+	At time.Duration
+	// Kind selects the action.
+	Kind EventKind
+	// Target is a server ID for crash/restart, an "a|b" server pair for
+	// partition/heal, and empty for cluster-wide kinds (flush picks every
+	// region, split resolves its victim region at fire time).
+	Target string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t=+%-7s %s", e.At.Round(time.Millisecond), e.Kind)
+	if e.Target != "" {
+		s += " " + e.Target
+	}
+	return s
+}
+
+// Schedule is a time-ordered chaos plan.
+type Schedule []Event
+
+// Trace renders the schedule, one event per line. Two runs from the same
+// seed print identical traces.
+func (s Schedule) Trace() []string {
+	out := make([]string, len(s))
+	for i, e := range s {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// PlanConfig bounds what a generated schedule may do.
+type PlanConfig struct {
+	// Duration is the workload window events must fall inside.
+	Duration time.Duration
+	// Servers are the region-server IDs available as targets.
+	Servers []string
+	// Crashes is the number of crash→restart pairs (requires ≥3 servers so
+	// at least two stay live while one is down).
+	Crashes int
+	// Partitions is the number of partition→heal windows between server
+	// pairs.
+	Partitions int
+	// Flushes and Splits are point events; both are scheduled outside
+	// partition windows (their AUQ drains would stall until heal) and
+	// splits also outside crash windows.
+	Flushes int
+	Splits  int
+	// DiskFaultWindows and NetFaultWindows arm the seeded injectors for a
+	// sub-interval of the run.
+	DiskFaultWindows int
+	NetFaultWindows  int
+}
+
+type window struct{ start, end time.Duration }
+
+func (w window) contains(t time.Duration) bool { return t >= w.start && t <= w.end }
+
+// Plan derives a deterministic schedule from a seed. The same (seed, cfg)
+// always yields the same event list. Generated schedules respect the
+// constraints that keep a scenario live: crash windows never overlap (so at
+// most one server is down at a time), every crash is paired with a restart
+// and every partition with a heal well before the run ends, and flush/split
+// events avoid the windows whose pre-flush AUQ drain could not complete.
+func Plan(seed int64, cfg PlanConfig) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	d := cfg.Duration
+	var sched Schedule
+	var crashWins, partWins []window
+
+	// Crash→restart pairs, serialized into disjoint sub-intervals.
+	if len(cfg.Servers) >= 3 && cfg.Crashes > 0 {
+		per := d / time.Duration(cfg.Crashes)
+		for i := 0; i < cfg.Crashes; i++ {
+			base := time.Duration(i) * per
+			w := window{
+				start: base + scale(per, 0.15+0.20*rng.Float64()),
+				end:   base + scale(per, 0.60+0.25*rng.Float64()),
+			}
+			target := cfg.Servers[rng.Intn(len(cfg.Servers))]
+			crashWins = append(crashWins, w)
+			sched = append(sched,
+				Event{At: w.start, Kind: EvCrash, Target: target},
+				Event{At: w.end, Kind: EvRestart, Target: target})
+		}
+	}
+
+	// Partition→heal windows between distinct server pairs. Heals land by
+	// 0.75·Duration so blocked index maintenance has time to drain.
+	for i := 0; i < cfg.Partitions && len(cfg.Servers) >= 2; i++ {
+		w := window{start: scale(d, 0.10+0.45*rng.Float64())}
+		w.end = w.start + scale(d, 0.08+0.12*rng.Float64())
+		if max := scale(d, 0.75); w.end > max {
+			w.end = max
+		}
+		a := rng.Intn(len(cfg.Servers))
+		b := rng.Intn(len(cfg.Servers) - 1)
+		if b >= a {
+			b++
+		}
+		partWins = append(partWins, w)
+		pair := cfg.Servers[a] + "|" + cfg.Servers[b]
+		sched = append(sched,
+			Event{At: w.start, Kind: EvPartition, Target: pair},
+			Event{At: w.end, Kind: EvHeal, Target: pair})
+	}
+
+	// Point events, rejection-sampled away from the windows they would
+	// stall in. The sampling is part of the deterministic stream.
+	point := func(avoid []window) (time.Duration, bool) {
+		for try := 0; try < 16; try++ {
+			t := scale(d, 0.10+0.70*rng.Float64())
+			clear := true
+			for _, w := range avoid {
+				if w.contains(t) {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+	for i := 0; i < cfg.Flushes; i++ {
+		if t, ok := point(partWins); ok {
+			sched = append(sched, Event{At: t, Kind: EvFlush})
+		}
+	}
+	avoidBoth := append(append([]window(nil), partWins...), crashWins...)
+	for i := 0; i < cfg.Splits; i++ {
+		if t, ok := point(avoidBoth); ok {
+			sched = append(sched, Event{At: t, Kind: EvSplit})
+		}
+	}
+
+	// Injector windows: arm → calm.
+	addWindow := func(n int, arm, calm EventKind) {
+		for i := 0; i < n; i++ {
+			start := scale(d, 0.05+0.55*rng.Float64())
+			end := start + scale(d, 0.10+0.15*rng.Float64())
+			if max := scale(d, 0.80); end > max {
+				end = max
+			}
+			sched = append(sched,
+				Event{At: start, Kind: arm},
+				Event{At: end, Kind: calm})
+		}
+	}
+	addWindow(cfg.DiskFaultWindows, EvDiskFault, EvDiskCalm)
+	addWindow(cfg.NetFaultWindows, EvNetFault, EvNetCalm)
+
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched
+}
+
+func scale(d time.Duration, f float64) time.Duration {
+	return time.Duration(f * float64(d))
+}
+
+// mix derives a sub-seed from the root seed and a label, so every consumer
+// of randomness (schedule, each injector, each workload thread) gets an
+// independent deterministic stream.
+func mix(seed int64, salt string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(salt))
+	return int64(h.Sum64() >> 1) // keep it non-negative
+}
+
+// splitPair decodes a partition/heal target.
+func splitPair(target string) (a, b string) {
+	parts := strings.SplitN(target, "|", 2)
+	if len(parts) != 2 {
+		return target, target
+	}
+	return parts[0], parts[1]
+}

@@ -43,6 +43,10 @@ type Config struct {
 	Net simnet.Config
 	// Disk is the simulated disk profile charged on SSTable/WAL I/O.
 	Disk vfs.LatencyProfile
+	// BaseFS, when non-nil, is the file system the cluster's LatencyFS
+	// wraps instead of a fresh MemFS. The chaos harness injects a
+	// vfs.FaultFS here so disk faults compose with the latency model.
+	BaseFS vfs.FS
 	// BlockCacheBytes sizes each region server's block cache (§8.1 gives
 	// 25% of an 8 GiB heap; scaled down here). Zero means the 32 MiB
 	// default; a negative value disables caching entirely.
@@ -165,9 +169,13 @@ type Cluster struct {
 // New builds a cluster with cfg.Servers region servers, all live.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	base := cfg.BaseFS
+	if base == nil {
+		base = vfs.NewMemFS()
+	}
 	c := &Cluster{
 		cfg:     cfg,
-		FS:      vfs.NewLatencyFS(vfs.NewMemFS(), cfg.Disk),
+		FS:      vfs.NewLatencyFS(base, cfg.Disk),
 		Net:     simnet.New(cfg.Net),
 		servers: make(map[string]*RegionServer),
 		coprocs: make(map[string]Coprocessor),

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -175,4 +176,106 @@ func (m *Master) CrashServer(id string) error {
 		}
 	}
 	return nil
+}
+
+// RestartServer brings a crashed region server back online: the server
+// restarts with empty in-memory state, adopts any orphaned regions (regions
+// whose host is not live — possible if every server was down at once), and
+// then takes regions from the most-loaded servers until it holds roughly its
+// fair share. Each moved region replays its WAL on the restarted server, so
+// recovery (§5.3) — including OnReplay re-enqueueing of index work — runs
+// exactly as it does after a crash. The rebalance plan is deterministic:
+// regions are considered in sorted ID order and ties go to the
+// lexicographically smallest donor.
+func (m *Master) RestartServer(id string) error {
+	server := m.cluster.Server(id)
+	if server == nil {
+		return fmt.Errorf("cluster: unknown server %s", id)
+	}
+	if !server.Crashed() {
+		return fmt.Errorf("cluster: server %s is not down", id)
+	}
+	server.restart()
+
+	type move struct {
+		info RegionInfo
+		from string // "" when no live server hosts the region
+	}
+	m.mu.Lock()
+	live := m.cluster.LiveServerIDs() // includes id now
+	liveSet := make(map[string]bool, len(live))
+	for _, lid := range live {
+		liveSet[lid] = true
+	}
+	byServer := make(map[string][]*RegionInfo)
+	var orphans []*RegionInfo
+	total := 0
+	for _, meta := range m.tables {
+		for _, ri := range meta.regions {
+			total++
+			if ri.Server == id || !liveSet[ri.Server] {
+				// Metadata points at a dead server, or at the restarted
+				// server itself (its crash released everything): nobody
+				// serves this region.
+				orphans = append(orphans, ri)
+			} else {
+				byServer[ri.Server] = append(byServer[ri.Server], ri)
+			}
+		}
+	}
+	sortRegionPtrs(orphans)
+	var moves []move
+	for _, ri := range orphans {
+		ri.Server = id
+		moves = append(moves, move{info: *ri})
+	}
+	held := len(orphans)
+	fair := total / len(live)
+	for held < fair {
+		donor := ""
+		for sid, regions := range byServer {
+			if len(regions) > len(byServer[donor]) || (donor != "" && len(regions) == len(byServer[donor]) && sid < donor) {
+				donor = sid
+			}
+		}
+		if donor == "" || len(byServer[donor]) <= held+1 {
+			break // stealing more would just invert the imbalance
+		}
+		regions := byServer[donor]
+		sortRegionPtrs(regions)
+		var ri *RegionInfo
+		for i, cand := range regions {
+			if m.cluster.Server(donor).hostsUnfrozen(cand.ID) {
+				ri = cand
+				byServer[donor] = append(regions[:i:i], regions[i+1:]...)
+				break
+			}
+		}
+		if ri == nil {
+			delete(byServer, donor) // nothing movable here (e.g. mid-split)
+			continue
+		}
+		ri.Server = id
+		moves = append(moves, move{info: *ri, from: donor})
+		held++
+	}
+	m.mu.Unlock()
+
+	for _, mv := range moves {
+		if mv.from != "" {
+			// Close on the donor first: its AUQ entries for the region are
+			// dropped and reconstructed by WAL replay on the new host.
+			if err := m.cluster.Server(mv.from).CloseRegion(mv.info.ID); err != nil && !errors.Is(err, ErrRegionNotFound) {
+				return err
+			}
+		}
+		if err := server.OpenRegion(mv.info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortRegionPtrs(regions []*RegionInfo) {
+	sort.Slice(regions, func(i, j int) bool { return regions[i].ID < regions[j].ID })
 }

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRestartServerRejoinsAndRebalances(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if err := c.Master.CreateTable("t", splits("j", "s")); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c, "cl")
+	for i := 0; i < 60; i++ {
+		row := []byte(fmt.Sprintf("key%02d", i))
+		if _, err := cl.Put("t", row, map[string][]byte{"v": []byte(fmt.Sprintf("%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ri, _ := c.Master.Locate("t", []byte("key00"))
+	victim := ri.Server
+	if err := c.Master.CrashServer(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Master.RestartServer("rs99"); err == nil {
+		t.Error("restart of unknown server must fail")
+	}
+	if err := c.Master.RestartServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if c.Server(victim).Crashed() {
+		t.Fatal("server still down after restart")
+	}
+	if err := c.Master.RestartServer(victim); err == nil {
+		t.Error("restart of a live server must fail")
+	}
+
+	// The rebalance must hand the restarted server its fair share: with 3
+	// regions over 3 live servers, at least one region.
+	regions, _ := c.Master.RegionsOf("t")
+	hosted := 0
+	for _, ri := range regions {
+		if ri.Server == victim {
+			hosted++
+		}
+		if c.Server(ri.Server).Crashed() {
+			t.Errorf("region %s assigned to crashed server %s", ri.ID, ri.Server)
+		}
+	}
+	if hosted == 0 {
+		t.Error("restarted server received no regions")
+	}
+
+	// Every pre-crash write must still be readable (WAL replay on the moved
+	// regions), and new writes must route through the rejoined server.
+	for i := 0; i < 60; i++ {
+		row := []byte(fmt.Sprintf("key%02d", i))
+		val, _, ok, err := cl.Get("t", row, "v")
+		if err != nil || !ok || string(val) != fmt.Sprintf("%d", i) {
+			t.Errorf("row %s lost across restart: %q ok=%v err=%v", row, val, ok, err)
+		}
+	}
+	if _, err := cl.Put("t", []byte("key00"), map[string][]byte{"v": []byte("post")}); err != nil {
+		t.Fatalf("put after restart: %v", err)
+	}
+	if val, _, ok, _ := cl.Get("t", []byte("key00"), "v"); !ok || string(val) != "post" {
+		t.Errorf("post-restart write lost: %q ok=%v", val, ok)
+	}
+}
+
+// When every server crashes, the first restart must adopt ALL regions
+// (they are orphaned — no live server hosts them).
+func TestRestartServerAdoptsOrphanedRegions(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.Master.CreateTable("t", splits("m")); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c, "cl")
+	if _, err := cl.Put("t", []byte("a"), map[string][]byte{"v": []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put("t", []byte("z"), map[string][]byte{"v": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill both servers. CrashServer on the last one fails to reassign
+	// (no live servers), leaving its regions orphaned.
+	for _, id := range c.ServerIDs() {
+		_ = c.Master.CrashServer(id)
+	}
+	if live := c.LiveServerIDs(); len(live) != 0 {
+		t.Fatalf("live servers after total outage: %v", live)
+	}
+
+	first := c.ServerIDs()[0]
+	if err := c.Master.RestartServer(first); err != nil {
+		t.Fatal(err)
+	}
+	regions, _ := c.Master.RegionsOf("t")
+	for _, ri := range regions {
+		if ri.Server != first {
+			t.Errorf("region %s still on %s after sole-survivor restart", ri.ID, ri.Server)
+		}
+	}
+	for _, row := range []string{"a", "z"} {
+		if val, _, ok, err := cl.Get("t", []byte(row), "v"); err != nil || !ok || len(val) == 0 {
+			t.Errorf("row %s lost after total outage + restart (ok=%v err=%v)", row, ok, err)
+		}
+	}
+}

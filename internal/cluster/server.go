@@ -407,6 +407,27 @@ func (s *RegionServer) crash() {
 	s.mu.Unlock()
 }
 
+// restart brings a crashed server back to life with empty in-memory state —
+// the inverse of crash. The master then re-opens regions on it; WAL replay
+// rebuilds their memtables and OnReplay re-enqueues index work (§5.3).
+func (s *RegionServer) restart() {
+	s.mu.Lock()
+	s.cache = sstable.NewBlockCache(s.cluster.cfg.BlockCacheBytes)
+	s.regions = make(map[string]*Region)
+	s.mu.Unlock()
+	s.crashed.Store(false)
+}
+
+// hostsUnfrozen reports whether the server currently serves the region and
+// no split has frozen it. The master's rebalancer only steals regions that
+// are actually movable.
+func (s *RegionServer) hostsUnfrozen(regionID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.regions[regionID]
+	return ok && !r.frozen.Load()
+}
+
 // markDown makes the server reject requests without releasing its regions
 // yet. Cluster shutdown marks every server down first so no surviving APS
 // worker wastes retries against peers that are about to close.

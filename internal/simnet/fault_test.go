@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRequestDropNeverExecutes(t *testing.T) {
+	n := New(Config{})
+	n.ArmFaults(FaultConfig{Seed: 1, DropProb: 1})
+	executed := false
+	err := n.Call("a", "b", func() error { executed = true; return nil })
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if executed {
+		t.Error("dropped request executed the call")
+	}
+	if drops, _ := n.FaultCounts(); drops != 1 {
+		t.Errorf("drops = %d, want 1", drops)
+	}
+	n.DisarmFaults()
+	if err := n.Call("a", "b", func() error { executed = true; return nil }); err != nil || !executed {
+		t.Fatalf("disarmed call: err=%v executed=%v", err, executed)
+	}
+}
+
+// With a partial drop probability both failure modes must occur: requests
+// lost before execution, and responses lost after — the latter leaves the
+// call applied but unacknowledged, which is the case the durability checker
+// tolerates by timestamp.
+func TestResponseDropExecutesButFails(t *testing.T) {
+	n := New(Config{})
+	n.ArmFaults(FaultConfig{Seed: 7, DropProb: 0.3})
+	var reqDrops, respDrops, clean int
+	for i := 0; i < 300; i++ {
+		executed := false
+		err := n.Call("a", "b", func() error { executed = true; return nil })
+		switch {
+		case err == nil:
+			clean++
+		case errors.Is(err, ErrDropped) && executed:
+			respDrops++
+		case errors.Is(err, ErrDropped) && !executed:
+			reqDrops++
+		default:
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if reqDrops == 0 || respDrops == 0 || clean == 0 {
+		t.Fatalf("want all three outcomes; got req=%d resp=%d clean=%d", reqDrops, respDrops, clean)
+	}
+}
+
+func TestLocalCallsSkipFaults(t *testing.T) {
+	n := New(Config{})
+	n.ArmFaults(FaultConfig{Seed: 1, DropProb: 1})
+	if err := n.Call("a", "a", func() error { return nil }); err != nil {
+		t.Fatalf("local call faulted: %v", err)
+	}
+}
+
+func TestDelayFaultStallsMessages(t *testing.T) {
+	n := New(Config{})
+	var slept time.Duration
+	n.sleep = func(d time.Duration) { slept += d }
+	n.ArmFaults(FaultConfig{Seed: 1, DelayProb: 1, ExtraDelay: 2 * time.Millisecond})
+	if err := n.Call("a", "b", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 4*time.Millisecond { // both directions delayed
+		t.Errorf("slept %v, want ≥ 4ms", slept)
+	}
+	if _, delays := n.FaultCounts(); delays != 2 {
+		t.Errorf("delays = %d, want 2", delays)
+	}
+}
+
+func TestFaultsAreDeterministic(t *testing.T) {
+	run := func() []bool {
+		n := New(Config{})
+		n.ArmFaults(FaultConfig{Seed: 99, DropProb: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = n.Call("a", "b", func() error { return nil }) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault decision %d differs across runs with the same seed", i)
+		}
+	}
+}

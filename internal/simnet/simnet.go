@@ -18,6 +18,11 @@ import (
 // ErrPartitioned is returned when a call crosses an active network partition.
 var ErrPartitioned = errors.New("simnet: network partition between nodes")
 
+// ErrDropped is returned when an injected fault drops an RPC message. A
+// dropped request never executes; a dropped response executes the call but
+// loses the acknowledgement — the classic "applied but not acked" failure.
+var ErrDropped = errors.New("simnet: message dropped")
+
 // Config sets the latency model.
 type Config struct {
 	// RTT is the round-trip time charged per call (half before the call
@@ -28,6 +33,27 @@ type Config struct {
 	Jitter time.Duration
 }
 
+// FaultConfig arms the network with a seeded message-level fault
+// distribution, the chaos harness's second injector (alongside
+// vfs.FaultFS). Probabilities are per message direction (request and
+// response roll independently); zero disables that fault kind.
+type FaultConfig struct {
+	// Seed initializes the fault decision stream.
+	Seed int64
+	// DropProb loses a message: a dropped request fails the call without
+	// executing it, a dropped response executes the call but returns
+	// ErrDropped — the caller cannot tell which happened, like a real
+	// timeout.
+	DropProb float64
+	// DelayProb stalls a message by ExtraDelay on top of the normal
+	// latency model.
+	DelayProb float64
+	// ExtraDelay is the stall charged to a delayed message.
+	ExtraDelay time.Duration
+}
+
+func (c FaultConfig) enabled() bool { return c.DropProb > 0 || c.DelayProb > 0 }
+
 // Network connects named nodes with simulated latency and partitions.
 type Network struct {
 	cfg Config
@@ -35,8 +61,13 @@ type Network struct {
 	mu         sync.RWMutex
 	partitions map[[2]string]bool
 	rng        *rand.Rand
+	faults     FaultConfig
+	faultRng   *rand.Rand
 
-	calls atomic.Int64
+	calls   atomic.Int64
+	drops   atomic.Int64
+	delays  atomic.Int64
+	faulted atomic.Bool
 	// sleep is replaceable for tests.
 	sleep func(time.Duration)
 }
@@ -68,9 +99,28 @@ func (n *Network) oneWay() time.Duration {
 	return d
 }
 
+// messageFault samples the injected fault for one message direction:
+// dropped reports a lost message, delay is extra stall to charge.
+func (n *Network) messageFault() (dropped bool, delay time.Duration) {
+	if !n.faulted.Load() {
+		return false, 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults.DelayProb > 0 && n.faultRng.Float64() < n.faults.DelayProb {
+		delay = n.faults.ExtraDelay
+	}
+	if n.faults.DropProb > 0 && n.faultRng.Float64() < n.faults.DropProb {
+		dropped = true
+	}
+	return dropped, delay
+}
+
 // Call executes fn as an RPC from node `from` to node `to`, charging latency
 // in both directions. Local calls (from == to) are free, matching collocated
-// access. If the pair is partitioned the call fails without executing fn.
+// access. If the pair is partitioned the call fails without executing fn;
+// injected message faults (ArmFaults) can likewise drop or delay either
+// direction.
 func (n *Network) Call(from, to string, fn func() error) error {
 	n.calls.Add(1)
 	if from == to {
@@ -82,8 +132,16 @@ func (n *Network) Call(from, to string, fn func() error) error {
 	if cut {
 		return ErrPartitioned
 	}
-	if d := n.oneWay(); d > 0 {
+	dropped, extra := n.messageFault()
+	if d := n.oneWay() + extra; d > 0 {
 		n.sleep(d)
+	}
+	if dropped {
+		// The request was lost in flight: fn never executes.
+		n.drops.Add(1)
+		return ErrDropped
+	} else if extra > 0 {
+		n.delays.Add(1)
 	}
 	err := fn()
 	// The response also checks the partition state: a partition that forms
@@ -94,10 +152,41 @@ func (n *Network) Call(from, to string, fn func() error) error {
 	if cut {
 		return ErrPartitioned
 	}
-	if d := n.oneWay(); d > 0 {
+	dropped, extra = n.messageFault()
+	if d := n.oneWay() + extra; d > 0 {
 		n.sleep(d)
 	}
+	if dropped {
+		// The response was lost: fn DID execute, but the caller cannot know.
+		n.drops.Add(1)
+		return ErrDropped
+	} else if extra > 0 {
+		n.delays.Add(1)
+	}
 	return err
+}
+
+// ArmFaults installs (or replaces) the message-fault distribution, reseeding
+// the decision stream from cfg.Seed.
+func (n *Network) ArmFaults(cfg FaultConfig) {
+	n.mu.Lock()
+	n.faults = cfg
+	n.faultRng = rand.New(rand.NewSource(cfg.Seed))
+	n.mu.Unlock()
+	n.faulted.Store(cfg.enabled())
+}
+
+// DisarmFaults stops message-fault injection.
+func (n *Network) DisarmFaults() {
+	n.faulted.Store(false)
+	n.mu.Lock()
+	n.faults = FaultConfig{}
+	n.mu.Unlock()
+}
+
+// FaultCounts returns the cumulative injected drop and delay counts.
+func (n *Network) FaultCounts() (drops, delays int64) {
+	return n.drops.Load(), n.delays.Load()
 }
 
 // Partition cuts connectivity between two nodes until Heal or HealAll.

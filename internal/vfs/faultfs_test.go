@@ -1,0 +1,135 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultFSDisarmedIsTransparent(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, err := fs.Create("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if got := fs.Stats.Total(); got != 0 {
+		t.Fatalf("disarmed FS injected %d faults", got)
+	}
+}
+
+func TestFaultFSWriteAndSyncErrors(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("x/wal/1.wal")
+	fs.Arm(FaultConfig{Seed: 1, WriteErrProb: 1})
+	_, err := f.Write([]byte("data"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "x/wal/1.wal") {
+		t.Error("injected error does not name the file")
+	}
+	fs.Arm(FaultConfig{Seed: 1, SyncErrProb: 1})
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v, want ErrInjected", err)
+	}
+	fs.Disarm()
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+	if fs.Stats.WriteErrs.Load() != 1 || fs.Stats.SyncErrs.Load() != 1 {
+		t.Errorf("stats = %d write, %d sync; want 1, 1",
+			fs.Stats.WriteErrs.Load(), fs.Stats.SyncErrs.Load())
+	}
+}
+
+func TestFaultFSPartialWriteIsTorn(t *testing.T) {
+	inner := NewMemFS()
+	fs := NewFaultFS(inner)
+	f, _ := fs.Create("wal/seg")
+	fs.Arm(FaultConfig{Seed: 7, PartialWriteProb: 1})
+	n, err := f.Write(make([]byte, 100))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v", err)
+	}
+	if n >= 100 {
+		t.Fatalf("partial write reported %d of 100 bytes", n)
+	}
+	size, _ := f.Size()
+	if size != int64(n) {
+		t.Fatalf("inner file holds %d bytes, write reported %d", size, n)
+	}
+	if fs.Stats.PartialWrites.Load() != 1 {
+		t.Error("partial write not counted")
+	}
+}
+
+func TestFaultFSReadError(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("d/f")
+	f.Write([]byte("abc"))
+	fs.Arm(FaultConfig{Seed: 3, ReadErrProb: 1})
+	if _, err := f.ReadAt(make([]byte, 3), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultFSPathFilter(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	fs.Arm(FaultConfig{Seed: 1, WriteErrProb: 1, PathSubstr: "/wal/"})
+	sst, _ := fs.Create("tables/t/r1/000001.sst")
+	if _, err := sst.Write([]byte("block")); err != nil {
+		t.Fatalf("SSTable write faulted despite path filter: %v", err)
+	}
+	wal, _ := fs.Create("tables/t/r1/wal/000001.wal")
+	if _, err := wal.Write([]byte("rec")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("WAL write not faulted: %v", err)
+	}
+}
+
+func TestFaultFSLatencySpike(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	var slept time.Duration
+	fs.sleep = func(d time.Duration) { slept += d }
+	fs.Arm(FaultConfig{Seed: 1, SpikeProb: 1, SpikeLatency: 3 * time.Millisecond})
+	f, _ := fs.Create("d/f")
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("spike must not fail the op: %v", err)
+	}
+	if slept != 3*time.Millisecond {
+		t.Errorf("slept %v, want 3ms", slept)
+	}
+	if fs.Stats.Spikes.Load() != 1 {
+		t.Error("spike not counted")
+	}
+}
+
+func TestFaultFSDeterministicDecisions(t *testing.T) {
+	run := func() []bool {
+		fs := NewFaultFS(NewMemFS())
+		f, _ := fs.Create("d/f")
+		fs.Arm(FaultConfig{Seed: 42, WriteErrProb: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			_, err := f.Write([]byte("x"))
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across runs with the same seed", i)
+		}
+	}
+}

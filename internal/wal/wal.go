@@ -52,7 +52,14 @@ type Log struct {
 	seg    vfs.File // active segment
 	segID  uint64
 	closed bool
-	obs    func(recs, bytes int, d time.Duration)
+	// tainted marks the active segment as having a torn or unsynced tail
+	// after a failed append: replay stops at the first bad record, so
+	// further appends to the same segment could be silently lost. The next
+	// append rolls to a fresh segment first (replay processes segments
+	// independently, so records before the tear and in later segments
+	// survive).
+	tainted bool
+	obs     func(recs, bytes int, d time.Duration)
 }
 
 // SetObserver installs a callback invoked after every durable append with the
@@ -118,9 +125,10 @@ func Open(fs vfs.FS, dir string, replay func(Record)) (*Log, error) {
 func (l *Log) openSegment() error {
 	f, err := l.fs.Create(segmentName(l.dir, l.segID))
 	if err != nil {
-		return fmt.Errorf("wal: create segment %d: %w", l.segID, err)
+		return fmt.Errorf("wal: create segment %s: %w", segmentName(l.dir, l.segID), err)
 	}
 	l.seg = f
+	l.tainted = false
 	return nil
 }
 
@@ -219,6 +227,13 @@ func (l *Log) Append(r Record) error {
 
 // AppendBatch appends several records with a single sync, amortizing the
 // commit cost the way HBase group-commits WAL edits.
+//
+// A failed write or sync FAILS the append — the caller must not ack the
+// batch — and taints the active segment: the next append first rolls to a
+// fresh segment, so a torn tail can never swallow later acknowledged
+// records at replay. Errors carry the segment path so injected disk faults
+// (vfs.FaultFS) surface as diagnosable failures at the region-server
+// boundary.
 func (l *Log) AppendBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -232,20 +247,41 @@ func (l *Log) AppendBatch(recs []Record) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.tainted {
+		if err := l.rollLocked(); err != nil {
+			return err
+		}
+	}
 	var start time.Time
 	if l.obs != nil {
 		start = time.Now()
 	}
+	seg := segmentName(l.dir, l.segID)
 	if _, err := l.seg.Write(buf); err != nil {
-		return fmt.Errorf("wal: append batch: %w", err)
+		l.tainted = true
+		return fmt.Errorf("wal: append %s: %w", seg, err)
 	}
 	if err := l.seg.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		// The bytes may or may not be durable; the record was not acked, so
+		// the safe treatment is the same as a torn write.
+		l.tainted = true
+		return fmt.Errorf("wal: sync %s: %w", seg, err)
 	}
 	if l.obs != nil {
 		l.obs(len(recs), len(buf), time.Since(start))
 	}
 	return nil
+}
+
+// rollLocked closes the active segment and opens the next one. Callers hold
+// l.mu. A close error on a tainted segment is reported but does not stop the
+// roll: the replacement segment is what restores correctness.
+func (l *Log) rollLocked() error {
+	if err := l.seg.Close(); err != nil && !l.tainted {
+		return fmt.Errorf("wal: close segment %s: %w", segmentName(l.dir, l.segID), err)
+	}
+	l.segID++
+	return l.openSegment()
 }
 
 // Roll closes the active segment and starts a new one, returning the ID of
@@ -257,11 +293,7 @@ func (l *Log) Roll() (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	if err := l.seg.Close(); err != nil {
-		return 0, fmt.Errorf("wal: close segment %d: %w", l.segID, err)
-	}
-	l.segID++
-	if err := l.openSegment(); err != nil {
+	if err := l.rollLocked(); err != nil {
 		return 0, err
 	}
 	return l.segID, nil
@@ -282,7 +314,7 @@ func (l *Log) TruncateBefore(keepID uint64) error {
 	for _, name := range names {
 		if id, ok := parseSegmentID(l.dir, name); ok && id < keepID {
 			if err := l.fs.Remove(name); err != nil {
-				return fmt.Errorf("wal: truncate segment %d: %w", id, err)
+				return fmt.Errorf("wal: truncate segment %s: %w", name, err)
 			}
 		}
 	}
@@ -304,5 +336,8 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
-	return l.seg.Close()
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: close segment %s: %w", segmentName(l.dir, l.segID), err)
+	}
+	return nil
 }
