@@ -16,11 +16,17 @@
 #      the root package too, plus the golden-file guard that
 #      MetricsSnapshot marshals to stable JSON (TestMetricsSnapshotStableJSONGolden;
 #      refresh the golden with `go test ./internal/metrics -run Golden -update-golden`)
-#   7. benchmark smoke    — every benchmark compiles and survives one
+#   7. compaction -race   — the incremental compaction pipeline (tier
+#      selection, bounded rounds, reads racing concurrent compactions,
+#      chaos with compaction armed) under the race detector, plus a
+#      one-iteration BenchmarkSustainedWrite smoke
+#   8. benchmark smoke    — every benchmark compiles and survives one
 #      iteration (catches bit-rot in bench-only code paths)
-#   8. chaos              — fixed-seed fault-injection verdict via
+#   9. chaos              — fixed-seed fault-injection verdict via
 #      cmd/chaoskit: all four schemes under crashes, partitions, disk and
-#      network faults must uphold every invariant (DESIGN.md §9)
+#      network faults must uphold every invariant (DESIGN.md §9); a second
+#      short run arms incremental compaction (-compact-threshold 2) so
+#      tiered merges and the piggybacked cleanse run under faults too
 set -eu
 cd "$(dirname "$0")"
 
@@ -47,6 +53,10 @@ go test -race ./internal/...
 echo "== go test -race -run Metrics (observability + golden file) =="
 go test -race -run Metrics ./...
 
+echo "== go test -race -run Compact (compaction pipeline) =="
+go test -race -count=1 -run 'Compact' ./internal/lsm ./internal/chaos
+go test -run=NONE -bench=BenchmarkSustainedWrite -benchtime=1x ./internal/lsm
+
 echo "== benchmark smoke (one iteration each) =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -56,5 +66,9 @@ echo "== chaos (fixed-seed fault injection, all four schemes) =="
 # -race chaos smoke already ran in step 5; this exercises the CLI verdict
 # path end to end. Short duration keeps the pass bounded (~10 s).
 go run ./cmd/chaoskit -seed 1 -scenarios 4 -duration 400ms -trace=false
+# Same harness with the tiered compaction engine kept hot: every flush can
+# arm another bounded merge round, so tombstone handling and the
+# compaction-piggybacked index cleanse run under the same fault schedule.
+go run ./cmd/chaoskit -seed 2 -scenarios 2 -duration 300ms -trace=false -compact-threshold 2
 
 echo "CI PASSED"

@@ -30,6 +30,8 @@ func main() {
 	duration := flag.Duration("duration", 1200*time.Millisecond, "chaos window per scenario")
 	ablation := flag.Bool("ablation", false, "also run the drain-on-flush ablation pair (broken run MUST violate)")
 	trace := flag.Bool("trace", true, "print each scenario's planned event trace")
+	compactThreshold := flag.Int("compact-threshold", 0, "per-store SSTable count that arms incremental compaction (0 = chaos default 64, which leaves it cold; try 2 to keep the tiered engine busy)")
+	compactFanIn := flag.Int("compact-fanin", 0, "tables merged per compaction round (0 = store default)")
 	flag.Parse()
 
 	schemes := []diffindex.Scheme{diffindex.SyncFull, diffindex.SyncInsert, diffindex.AsyncSimple, diffindex.AsyncSession}
@@ -46,12 +48,14 @@ func main() {
 
 	for i := 0; i < *scenarios; i++ {
 		cfg := chaos.ScenarioConfig{
-			Seed:     *seed + int64(i),
-			Scheme:   schemes[i%len(schemes)],
-			Servers:  *servers,
-			Records:  *records,
-			Threads:  *threads,
-			Duration: *duration,
+			Seed:                *seed + int64(i),
+			Scheme:              schemes[i%len(schemes)],
+			Servers:             *servers,
+			Records:             *records,
+			Threads:             *threads,
+			Duration:            *duration,
+			CompactionThreshold: *compactThreshold,
+			CompactionFanIn:     *compactFanIn,
 		}
 		fmt.Printf("\n— scenario %d/%d: scheme=%s seed=%d\n", i+1, *scenarios, cfg.Scheme, cfg.Seed)
 		res, err := chaos.Run(cfg)

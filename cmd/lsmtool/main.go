@@ -41,6 +41,7 @@ func main() {
 		FS:                 fs,
 		Dir:                "demo",
 		MaxVersions:        *versions,
+		CompactionFanIn:    3, // so the incremental round below is visibly partial
 		DisableAutoFlush:   true,
 		DisableAutoCompact: true,
 		Metrics:            reg,
@@ -66,8 +67,17 @@ func main() {
 			fmt.Printf("  %-40s %8d bytes\n", n, sz)
 		}
 		st := store.Stats()
-		fmt.Printf("stats: puts=%d deletes=%d gets=%d flushes=%d compactions=%d\n\n",
+		fmt.Printf("stats: puts=%d deletes=%d gets=%d flushes=%d compactions=%d\n",
 			st.Puts, st.Deletes, st.Gets, st.Flushes, st.Compactions)
+		if st.Compactions > 0 {
+			fmt.Printf("compaction io: read=%dB written=%dB gc-cells=%d tombstones-dropped=%d\n",
+				st.CompactionBytesRead, st.CompactionBytesWritten,
+				st.CompactionCellsDropped, st.TombstonesDropped)
+		}
+		if st.CompactionErrors > 0 {
+			fmt.Printf("compaction errors: %d (last: %s)\n", st.CompactionErrors, st.LastCompactionError)
+		}
+		fmt.Println()
 	}
 
 	write := func(gen int) {
@@ -104,6 +114,15 @@ func main() {
 	store.Flush()
 	dump("after deleting 10% (tombstones flushed)")
 
+	// One incremental tiered round first: it merges at most CompactionFanIn
+	// similar-sized tables (bounded work, never the whole store) and — not
+	// being at the bottom tier — retains every tombstone.
+	if ran, err := store.CompactOnce(); err != nil {
+		panic(err)
+	} else if ran {
+		dump("after one incremental tiered round (bounded fan-in, tombstones retained)")
+	}
+
 	if err := store.Compact(); err != nil {
 		panic(err)
 	}
@@ -120,6 +139,12 @@ func main() {
 
 	res, _ := store.Scan([]byte("row00000190"), []byte("row00000210"), kv.MaxTimestamp, 0)
 	fmt.Printf("scan across the delete boundary returned %d rows\n", len(res))
+
+	if st := store.Stats(); st.FlushBytes > 0 {
+		wa := float64(st.FlushBytes+st.CompactionBytesWritten) / float64(st.FlushBytes)
+		fmt.Printf("write amplification: %.2f (flushed %dB, compaction rewrote %dB)\n",
+			wa, st.FlushBytes, st.CompactionBytesWritten)
+	}
 
 	if reg != nil {
 		buf, err := reg.Snapshot().MarshalStableJSON()

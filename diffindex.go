@@ -95,6 +95,15 @@ type Options struct {
 	// CompactionThreshold is the SSTable count that triggers a compaction
 	// (default 4).
 	CompactionThreshold int
+	// CompactionFanIn bounds how many SSTables one incremental compaction
+	// round merges per region store (default 4). Each round picks at most
+	// this many similar-sized tables, so compaction I/O stays bounded no
+	// matter how many tables a write burst accumulates.
+	CompactionFanIn int
+	// MaxConcurrentCompactions bounds how many compaction rounds may run
+	// at once per region store (default 2); rounds work on disjoint table
+	// sets and run in parallel with flushes.
+	MaxConcurrentCompactions int
 
 	// ReadFanOut bounds how many per-region RPCs one client operation may
 	// have in flight at once on the scatter-gather paths: batched MultiGet
@@ -155,14 +164,16 @@ func Open(opts Options) *DB {
 			WriteLatency: opts.DiskWriteLatency,
 			SyncLatency:  opts.DiskSyncLatency,
 		},
-		BaseFS:              opts.BaseFS,
-		BlockCacheBytes:     opts.BlockCacheBytes,
-		MemtableBytes:       opts.MemtableBytes,
-		MaxVersions:         opts.MaxVersions,
-		CompactionThreshold: opts.CompactionThreshold,
-		ReadFanOut:          opts.ReadFanOut,
-		DisableTracing:      opts.DisableTracing,
-		SlowOpK:             opts.SlowOpLog,
+		BaseFS:                   opts.BaseFS,
+		BlockCacheBytes:          opts.BlockCacheBytes,
+		MemtableBytes:            opts.MemtableBytes,
+		MaxVersions:              opts.MaxVersions,
+		CompactionThreshold:      opts.CompactionThreshold,
+		CompactionFanIn:          opts.CompactionFanIn,
+		MaxConcurrentCompactions: opts.MaxConcurrentCompactions,
+		ReadFanOut:               opts.ReadFanOut,
+		DisableTracing:           opts.DisableTracing,
+		SlowOpK:                  opts.SlowOpLog,
 	})
 	m := core.NewManager(c, core.ManagerOptions{
 		QueueCapacity:        opts.AUQCapacity,

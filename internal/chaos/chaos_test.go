@@ -112,3 +112,51 @@ func TestDrainAblationCaughtByCheckers(t *testing.T) {
 		t.Errorf("want index-exact (stale entry) violations, got %v", byInv)
 	}
 }
+
+// Incremental compaction under faults: a table-count trigger of 2 keeps the
+// tiered engine busy for the whole window (every flush arms another round),
+// with extra flush events feeding it tables while crashes, partitions and
+// disk faults fire. This drives the paths the smoke test leaves cold —
+// bounded-fan-in merges racing reads, the tombstone-at-bottom-tier rule,
+// and the PostCompact piggybacked cleanse — and demands the same
+// invariants: index-complete, index-exact, durability, convergence.
+func TestChaosIncrementalCompaction(t *testing.T) {
+	schemes := []diffindex.Scheme{
+		diffindex.SyncFull, diffindex.SyncInsert,
+		diffindex.AsyncSimple, diffindex.AsyncSession,
+	}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, err := Run(ScenarioConfig{
+				Seed:                2,
+				Scheme:              scheme,
+				Servers:             3,
+				Records:             120,
+				Threads:             2,
+				Duration:            500 * time.Millisecond,
+				CompactionThreshold: 2,
+				CompactionFanIn:     2,
+				Plan: &PlanConfig{
+					Crashes: 1, Partitions: 1, Flushes: 6, Splits: 1,
+					DiskFaultWindows: 1, NetFaultWindows: 1,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Error("async index work did not converge after quiescence")
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			if res.Ops == 0 {
+				t.Error("workload made no progress")
+			}
+			if res.Checked == 0 {
+				t.Error("checkers evaluated nothing")
+			}
+		})
+	}
+}

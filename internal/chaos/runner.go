@@ -42,6 +42,15 @@ type ScenarioConfig struct {
 	// protocol — the deliberately broken recovery the negative test uses to
 	// prove the checkers catch real violations.
 	DisableDrainOnFlush bool
+	// CompactionThreshold overrides the per-store table count that arms
+	// the incremental compaction engine (default 64, which effectively
+	// disables compaction during the short chaos window). Set low (e.g. 2)
+	// to exercise tiered compaction — including the tombstone-at-bottom-
+	// tier rule and the PostCompact piggybacked cleanse — under faults.
+	CompactionThreshold int
+	// CompactionFanIn overrides the per-round merge width (0 = store
+	// default).
+	CompactionFanIn int
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -59,6 +68,9 @@ func (c ScenarioConfig) withDefaults() ScenarioConfig {
 	}
 	if c.Throttle <= 0 {
 		c.Throttle = 200 * time.Microsecond
+	}
+	if c.CompactionThreshold <= 0 {
+		c.CompactionThreshold = 64
 	}
 	return c
 }
@@ -103,11 +115,15 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	db := diffindex.Open(diffindex.Options{
 		Servers: cfg.Servers,
 		BaseFS:  fault,
-		// Retain deep version history and effectively disable compaction:
-		// the async schemes' pre-image reads (old value at ts−δ) must never
-		// lose the version they need while tasks sit in a backlogged AUQ.
+		// Retain deep version history: the async schemes' pre-image reads
+		// (old value at ts−δ) must never lose the version they need while
+		// tasks sit in a backlogged AUQ. The default CompactionThreshold of
+		// 64 effectively disables compaction during the short chaos window;
+		// the compaction scenarios lower it to put incremental merges (and
+		// their version/tombstone GC) inside the fault schedule.
 		MaxVersions:               1024,
-		CompactionThreshold:       64,
+		CompactionThreshold:       cfg.CompactionThreshold,
+		CompactionFanIn:           cfg.CompactionFanIn,
 		UnsafeDisableDrainOnFlush: cfg.DisableDrainOnFlush,
 		DisableTracing:            true,
 	})

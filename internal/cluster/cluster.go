@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"diffindex/internal/kv"
+	"diffindex/internal/lsm"
 	"diffindex/internal/metrics"
 	"diffindex/internal/simnet"
 	"diffindex/internal/vfs"
@@ -58,6 +59,12 @@ type Config struct {
 	// CompactionThreshold is the table count triggering compaction.
 	// Defaults to 4.
 	CompactionThreshold int
+	// CompactionFanIn bounds how many SSTables one compaction round merges
+	// per region store. Defaults to 4.
+	CompactionFanIn int
+	// MaxConcurrentCompactions bounds concurrent compaction rounds per
+	// region store. Defaults to 2.
+	MaxConcurrentCompactions int
 	// ReadFanOut bounds how many per-region RPCs one client operation may
 	// have in flight at once on the batched/scatter-gather paths (MultiGet,
 	// MultiApply, BroadcastScan, RawScan). Defaults to 8; 1 forces the
@@ -126,6 +133,12 @@ type Coprocessor interface {
 	// tears down the region's AUQ: pending entries are dropped, to be
 	// reconstructed by WAL replay on the next server (§5.3).
 	OnRegionClose(ctx RegionCtx)
+	// PostCompact runs after a compaction round of the region's store
+	// garbage-collects cells, in the compaction goroutine with no store
+	// locks held. Diff-Index validates the index entries that the dropped
+	// base values point to — cleanse piggybacked on merge I/O instead of a
+	// dedicated batch scan.
+	PostCompact(ctx RegionCtx, gc lsm.CompactionGC)
 }
 
 // Cluster owns the shared infrastructure: the (simulated) distributed file
@@ -145,6 +158,12 @@ type Cluster struct {
 
 	servers map[string]*RegionServer
 	coprocs map[string]Coprocessor // by table name
+	// retainTomb marks tables whose stores must keep delete markers
+	// through every compaction (global-index tables: at-least-once async
+	// delivery can re-insert a superseded entry long after its delete, and
+	// only a surviving marker keeps it invisible). Like coprocs, written
+	// before the table is created, then read-only.
+	retainTomb map[string]bool
 
 	metrics *metrics.Registry
 	tracer  *metrics.Tracer
@@ -174,14 +193,15 @@ func New(cfg Config) *Cluster {
 		base = vfs.NewMemFS()
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		FS:      vfs.NewLatencyFS(base, cfg.Disk),
-		Net:     simnet.New(cfg.Net),
-		servers: make(map[string]*RegionServer),
-		coprocs: make(map[string]Coprocessor),
-		clock:   kv.NewClock(1),
-		metrics: cfg.Metrics,
-		tracer:  metrics.NewTracer(cfg.Metrics, cfg.SlowOpK, cfg.DisableTracing),
+		cfg:        cfg,
+		FS:         vfs.NewLatencyFS(base, cfg.Disk),
+		Net:        simnet.New(cfg.Net),
+		servers:    make(map[string]*RegionServer),
+		coprocs:    make(map[string]Coprocessor),
+		retainTomb: make(map[string]bool),
+		clock:      kv.NewClock(1),
+		metrics:    cfg.Metrics,
+		tracer:     metrics.NewTracer(cfg.Metrics, cfg.SlowOpK, cfg.DisableTracing),
 	}
 	c.fanoutWaves = cfg.Metrics.Counter("diffindex_fanout_waves_total")
 	c.fanoutRPCs = cfg.Metrics.Counter("diffindex_fanout_rpcs_total")
@@ -215,6 +235,14 @@ func (c *Cluster) RegisterCoprocessor(table string, cp Coprocessor) {
 }
 
 func (c *Cluster) coprocessor(table string) Coprocessor { return c.coprocs[table] }
+
+// RetainTombstones marks a table's stores as never dropping delete markers
+// at compaction. Call before creating the table, like RegisterCoprocessor.
+func (c *Cluster) RetainTombstones(table string) {
+	c.retainTomb[table] = true
+}
+
+func (c *Cluster) retainsTombstones(table string) bool { return c.retainTomb[table] }
 
 // Metrics returns the cluster-wide metrics registry: the single source of
 // truth every layer (WAL, LSM stores, index runtime, clients) records into.
@@ -256,6 +284,15 @@ func (c *Cluster) FlushAll() error {
 		}
 	}
 	return nil
+}
+
+// WaitCompactions blocks until every live server's background compaction
+// pipeline is idle. Deterministic tests flush (arming compaction) and then
+// wait here before asserting on post-compaction state.
+func (c *Cluster) WaitCompactions() {
+	for _, id := range c.ServerIDs() {
+		c.servers[id].WaitCompactions()
+	}
 }
 
 // Close shuts down every server. All servers are marked down before any

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"diffindex/internal/kv"
+	"diffindex/internal/lsm"
 )
 
 func newTestCluster(t testing.TB, servers int) *Cluster {
@@ -364,11 +365,18 @@ func TestStaleClientCacheRetries(t *testing.T) {
 
 // recordingCoprocessor records hook invocations for verification.
 type recordingCoprocessor struct {
-	mu       sync.Mutex
-	puts     []string
-	deletes  []string
-	replays  []string
-	preFlush int
+	mu          sync.Mutex
+	puts        []string
+	deletes     []string
+	replays     []string
+	preFlush    int
+	postCompact int
+}
+
+func (r *recordingCoprocessor) PostCompact(ctx RegionCtx, gc lsm.CompactionGC) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.postCompact++
 }
 
 func (r *recordingCoprocessor) PostPut(ctx RegionCtx, row []byte, cols map[string][]byte, ts kv.Timestamp) error {

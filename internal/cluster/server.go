@@ -89,14 +89,17 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 	cache := s.cache
 	s.mu.RUnlock()
 	store, err := lsm.Open(lsm.Options{
-		FS:                  s.cluster.FS,
-		Dir:                 regionDir(info),
-		MemtableBytes:       s.cluster.cfg.MemtableBytes,
-		MaxVersions:         s.cluster.cfg.MaxVersions,
-		CompactionThreshold: s.cluster.cfg.CompactionThreshold,
-		BlockCache:          cache,
-		Metrics:             s.cluster.metrics,
-		MetricsTable:        info.Table,
+		FS:                       s.cluster.FS,
+		Dir:                      regionDir(info),
+		MemtableBytes:            s.cluster.cfg.MemtableBytes,
+		MaxVersions:              s.cluster.cfg.MaxVersions,
+		CompactionThreshold:      s.cluster.cfg.CompactionThreshold,
+		CompactionFanIn:          s.cluster.cfg.CompactionFanIn,
+		MaxConcurrentCompactions: s.cluster.cfg.MaxConcurrentCompactions,
+		RetainTombstones:         s.cluster.retainsTombstones(info.Table),
+		BlockCache:               cache,
+		Metrics:                  s.cluster.metrics,
+		MetricsTable:             info.Table,
 		OnReplay: func(c kv.Cell) {
 			s.cluster.clock.Observe(c.Ts)
 			replayed = append(replayed, c.Clone())
@@ -111,6 +114,17 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 	store.RegisterPreFlush(func() {
 		if cp := s.cluster.coprocessor(info.Table); cp != nil {
 			cp.PreFlush(ctx)
+		}
+	})
+	store.RegisterPostCompact(func(gc lsm.CompactionGC) {
+		// A crashed server's regions are closed, but a round that was
+		// already installing may still fire; its in-memory observations
+		// must not leak into the revived cluster state.
+		if s.crashed.Load() {
+			return
+		}
+		if cp := s.cluster.coprocessor(info.Table); cp != nil {
+			cp.PostCompact(ctx, gc)
 		}
 	})
 
@@ -370,6 +384,24 @@ func (s *RegionServer) FlushAll() error {
 		}
 	}
 	return nil
+}
+
+// WaitCompactions blocks until every hosted region's background compaction
+// pipeline is idle — in-flight rounds finished and their PostCompact hooks
+// (including the piggybacked index cleanse) returned.
+func (s *RegionServer) WaitCompactions() {
+	if s.crashed.Load() {
+		return
+	}
+	s.mu.RLock()
+	regions := make([]*Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		regions = append(regions, r)
+	}
+	s.mu.RUnlock()
+	for _, r := range regions {
+		r.store.WaitCompactions()
+	}
 }
 
 // Regions returns the infos of all hosted regions.

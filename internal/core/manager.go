@@ -178,6 +178,10 @@ func (m *Manager) CreateIndex(def IndexDef, splits [][]byte) error {
 	// One observer per base table handles every index on it.
 	m.cluster.RegisterCoprocessor(def.Table, &observer{m: m})
 	if !def.Local {
+		// Index-table stores must never drop delete markers at compaction:
+		// async delivery is at-least-once, and a redelivered stale-entry
+		// insert stays masked only while its tombstone survives.
+		m.cluster.RetainTombstones(def.Name())
 		// Index tables are raw tables: their routing keys ARE their store
 		// keys (v ⊕ k).
 		if err := m.cluster.Master.CreateRawTable(def.Name(), splits); err != nil {

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"diffindex/internal/cluster"
+)
+
+// newCompactionEnv builds a cluster whose stores compact eagerly: two
+// SSTables arm a round, one retained version per key, so every overwrite
+// that reaches a second flush is garbage-collected on the next merge.
+func newCompactionEnv(t testing.TB) *env {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Servers:             3,
+		MaxVersions:         1,
+		CompactionThreshold: 2,
+		CompactionFanIn:     2,
+	})
+	t.Cleanup(func() { c.Close() })
+	m := NewManager(c, ManagerOptions{})
+	if err := c.Master.CreateTable("items", [][]byte{[]byte("item500")}); err != nil {
+		t.Fatal(err)
+	}
+	return &env{c: c, m: m, cl: cluster.NewClient(c, "testclient"), tbl: "items"}
+}
+
+// Sync-insert never deletes superseded entries, so overwrites accumulate
+// stale index entries — normally Cleanse's job to sweep. Here compaction's
+// version GC drops the old base cells, the PostCompact hook hands them to
+// the index manager, and the stale entries those values name are repaired
+// without any sweep.
+func TestPiggybackCleanseRepairsStaleEntriesOnCompaction(t *testing.T) {
+	e := newCompactionEnv(t)
+	def := e.createIndex(t, SyncInsert, "title")
+
+	for i := 0; i < 10; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", fmt.Sprintf("g0-%d", i))
+	}
+	if err := e.c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i), "title", fmt.Sprintf("g1-%d", i))
+	}
+	raw := e.rawIndexEntries(t, def)
+	if len(raw) != 20 { // 10 live + 10 stale left by sync-insert
+		t.Fatalf("raw entries before compaction = %d, want 20", len(raw))
+	}
+
+	// The second flush gives each base region two tables, arming a round;
+	// MaxVersions 1 drops every g0 cell, and the hook cleans their entries.
+	if err := e.c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.c.WaitCompactions()
+
+	raw = e.rawIndexEntries(t, def)
+	if len(raw) != 10 {
+		t.Errorf("raw entries after compaction = %d, want 10 (stale g0 cleansed): %v", len(raw), raw)
+	}
+	for _, entry := range raw {
+		if entry[:2] != "g1" {
+			t.Errorf("stale entry survived piggybacked cleanse: %s", entry)
+		}
+	}
+	// Live entries were never touched: every row is still reachable by its
+	// current title.
+	for i := 0; i < 10; i++ {
+		rows := e.lookupRows(t, []string{"title"}, fmt.Sprintf("g1-%d", i))
+		if len(rows) != 1 || rows[0] != fmt.Sprintf("item%03d", i) {
+			t.Errorf("g1-%d lookup = %v", i, rows)
+		}
+	}
+	// An explicit Cleanse now finds nothing left to repair.
+	if _, repaired, err := e.m.Cleanse(e.cl, e.tbl, "title"); err != nil || repaired != 0 {
+		t.Errorf("post-compaction Cleanse = repaired %d, err %v; want 0, nil", repaired, err)
+	}
+}
+
+// Composite (multi-column) indexes must be left alone: a dropped cell holds
+// only one column's old value, not the row's other columns at that
+// timestamp, so no candidate entry can be reconstructed. The stale entry
+// stays until an explicit Cleanse.
+func TestPiggybackCleanseSkipsCompositeIndexes(t *testing.T) {
+	e := newCompactionEnv(t)
+	def := e.createIndex(t, SyncInsert, "title", "author")
+
+	e.put(t, "item001", "title", "old")
+	e.put(t, "item001", "author", "ann")
+	if err := e.c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.put(t, "item001", "title", "new")
+	if err := e.c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.c.WaitCompactions()
+
+	raw := e.rawIndexEntries(t, def)
+	if len(raw) != 2 { // old+ann (stale) and new+ann (live)
+		t.Errorf("composite entries after compaction = %v, want both (stale untouched)", raw)
+	}
+}

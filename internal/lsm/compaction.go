@@ -2,67 +2,395 @@ package lsm
 
 import (
 	"errors"
-	"fmt"
+	"sort"
 
 	"diffindex/internal/kv"
 	"diffindex/internal/sstable"
 )
 
-func (s *Store) maybeScheduleCompaction() {
-	if s.compacting.CompareAndSwap(false, true) {
-		s.bg.Add(1)
-		go func() {
-			defer s.bg.Done()
-			defer s.compacting.Store(false)
-			// Failures leave the inputs in place; the next flush retries.
-			_ = s.Compact()
-		}()
+// This file implements size-tiered incremental compaction. Instead of the
+// original stop-the-world major compaction (merge *every* live SSTable into
+// one, single-flight), tables are grouped into size tiers and each round
+// merges a bounded set — at most Options.CompactionFanIn similar-sized
+// tables — so a round's I/O stays proportional to the data it rewrites, not
+// to the store's total size. Rounds with disjoint input sets run
+// concurrently (up to Options.MaxConcurrentCompactions), and because a
+// round never touches the memtable or the write gate, flushes proceed in
+// parallel with compaction.
+//
+// Tombstone handling follows the bottom-tier rule: a delete marker may only
+// be dropped when the round's inputs include every table older than the
+// marker (the inputs form the complete tail of the table list). Anywhere
+// else the tombstone is rewritten into the output so it keeps masking
+// versions living in older, untouched tables. Visible state is therefore
+// never changed by a round — the Diff-Index staleness-tolerance semantics
+// (§4.2, §5.1) are preserved exactly as with the old major compaction.
+
+// Size-tier geometry: tier 0 holds tables below tierBase·tierRatio bytes,
+// and each subsequent tier covers the next tierRatio× size band. With
+// 64 KiB × 4 the first boundaries are 256 KiB, 1 MiB, 4 MiB — sized so that
+// memtable-flush outputs land in tier 0 and each merge promotes its output
+// roughly one tier up.
+const (
+	tierBase  = 64 << 10
+	tierRatio = 4
+)
+
+// tierOf maps a table size to its size tier.
+func tierOf(size int64) int {
+	tier := 0
+	for limit := int64(tierBase * tierRatio); size >= limit; limit *= tierRatio {
+		tier++
+	}
+	return tier
+}
+
+// tableMeta is the picker's view of one live table. The slice given to
+// pickTiered is ordered newest-first, mirroring Store.tables.
+type tableMeta struct {
+	Size int64
+	Busy bool // claimed by a running compaction round
+}
+
+// pickTiered selects the inputs for one compaction round: the indices (into
+// metas) of at most fanIn non-busy tables. Preference order:
+//
+//  1. the smallest-size tier holding at least fanIn claimable tables — the
+//     classic size-tiered trigger, merging peers of similar size;
+//  2. when no tier is full but the store holds at least threshold tables
+//     (or force is set), the fanIn smallest claimable tables overall, so
+//     table count always converges even across tier boundaries.
+//
+// It returns nil when fewer than two tables are claimable or no rule fires.
+// The bounded fan-in is the engine's core guarantee: a round never rewrites
+// more than fanIn tables regardless of how many exist.
+func pickTiered(metas []tableMeta, fanIn, threshold int, force bool) []int {
+	var cand []int
+	for i, m := range metas {
+		if !m.Busy {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) < 2 {
+		return nil
+	}
+
+	// Rule 1: lowest full tier.
+	byTier := make(map[int][]int)
+	minTier := -1
+	for _, i := range cand {
+		t := tierOf(metas[i].Size)
+		byTier[t] = append(byTier[t], i)
+		if len(byTier[t]) >= fanIn && (minTier < 0 || t < minTier) {
+			minTier = t
+		}
+	}
+	pool := cand
+	if minTier >= 0 {
+		pool = byTier[minTier]
+	} else if !force && len(metas) < threshold {
+		return nil
+	}
+
+	// Merge the smallest members first (ties: older table first, i.e. the
+	// larger index in the newest-first ordering) — smallest-first keeps each
+	// round's byte cost minimal for the same table-count reduction.
+	sort.Slice(pool, func(a, b int) bool {
+		if metas[pool[a]].Size != metas[pool[b]].Size {
+			return metas[pool[a]].Size < metas[pool[b]].Size
+		}
+		return pool[a] > pool[b]
+	})
+	n := fanIn
+	if n > len(pool) {
+		n = len(pool)
+	}
+	if n < 2 {
+		return nil
+	}
+	picked := append([]int(nil), pool[:n]...)
+	sort.Ints(picked)
+	return picked
+}
+
+// pickFullMerge is the legacy baseline picker: all tables, one round, but
+// only when none is already being compacted (single-flight, as before).
+func pickFullMerge(metas []tableMeta, threshold int, force bool) []int {
+	if len(metas) < 2 || (!force && len(metas) < threshold) {
+		return nil
+	}
+	picked := make([]int, 0, len(metas))
+	for i, m := range metas {
+		if m.Busy {
+			return nil
+		}
+		picked = append(picked, i)
+	}
+	return picked
+}
+
+// isBottom reports whether the sorted picked indices form the complete tail
+// of a table list of length n — the condition under which no unmerged table
+// can hold data older than the inputs, making tombstone dropping safe.
+func isBottom(picked []int, n int) bool {
+	for i, idx := range picked {
+		if idx != n-len(picked)+i {
+			return false
+		}
+	}
+	return len(picked) > 0
+}
+
+// CompactionGC describes what one compaction round of this store garbage-
+// collected, for the PostCompact hook. Dropped holds (a sample of) the
+// cells that were physically removed: superseded versions beyond
+// MaxVersions, tombstone-masked data, and (bottom rounds only) the
+// tombstones themselves. Diff-Index feeds the dropped base *put* cells to
+// the index manager, which validates exactly the index entries those old
+// values point to — a piggybacked cleanse that repairs staleness for free
+// as part of merge I/O.
+type CompactionGC struct {
+	// Dropped is a sample of the garbage-collected cells (cloned; safe to
+	// retain). Capped at gcSampleCap per round; Truncated marks overflow.
+	Dropped   []kv.Cell
+	Truncated bool
+	// Bottom reports whether the round compacted the store's bottom tier
+	// (inputs were the complete tail), i.e. tombstones were dropped.
+	Bottom bool
+}
+
+// gcSampleCap bounds the per-round GC sample handed to PostCompact hooks.
+const gcSampleCap = 4096
+
+// RegisterPostCompact adds a hook invoked after each completed compaction
+// round, from the compaction goroutine with no store locks held. Hooks must
+// be registered before compactions start (mirroring RegisterPreFlush).
+func (s *Store) RegisterPostCompact(hook func(CompactionGC)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.postCompact = append(s.postCompact, hook)
+}
+
+// errNoClaim distinguishes "nothing to compact" from a real failure.
+var errNoClaim = errors.New("lsm: no claimable compaction inputs")
+
+// claimLocked picks a round's inputs and marks them busy. Called with
+// compMu held; takes s.mu.RLock internally (lock order: compMu → mu).
+// Returns errNoClaim when no rule fires and ErrClosed on a closed store.
+func (s *Store) claimLocked(force, all bool) ([]*tableHandle, bool, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, false, ErrClosed
+	}
+	tables := make([]*tableHandle, len(s.tables))
+	copy(tables, s.tables)
+	s.mu.RUnlock()
+
+	metas := make([]tableMeta, len(tables))
+	for i, h := range tables {
+		_, busy := s.compBusy[h]
+		metas[i] = tableMeta{Size: h.r.Size(), Busy: busy}
+	}
+	var picked []int
+	if all || s.opts.FullMergeCompaction {
+		picked = pickFullMerge(metas, s.opts.CompactionThreshold, force || all)
+	} else {
+		picked = pickTiered(metas, s.opts.CompactionFanIn, s.opts.CompactionThreshold, force)
+	}
+	if picked == nil {
+		return nil, false, errNoClaim
+	}
+	inputs := make([]*tableHandle, len(picked))
+	for i, idx := range picked {
+		h := tables[idx]
+		h.acquire()
+		s.compBusy[h] = struct{}{}
+		inputs[i] = h
+	}
+	return inputs, isBottom(picked, len(metas)), nil
+}
+
+// unclaimLocked releases a round's claim: busy marks and the compaction's
+// own table references. Called with compMu held.
+func (s *Store) unclaimLocked(inputs []*tableHandle) {
+	for _, h := range inputs {
+		delete(s.compBusy, h)
+		h.release()
 	}
 }
 
-// Compact merges every live SSTable into one (a major compaction, §2.1's
-// "C1, C2 and C3 are compacted into C1'"), garbage-collecting versions:
-// per user key at most MaxVersions puts are retained, and tombstones plus
-// everything they mask are dropped. Dropping tombstones at major compaction
-// mirrors HBase; a dropped tombstone can, in a narrow recovery race, let a
-// redelivered stale index entry resurface — which Diff-Index tolerates by
-// design (stale entries are repaired at read time or by later deliveries,
-// §4.2, §5.1).
+// recordCompactionError surfaces a failed background round through the
+// stats error counter, the last-error field and the metrics registry.
+// ErrClosed is not an error: it just means the store shut down mid-round.
+func (s *Store) recordCompactionError(err error) {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return
+	}
+	s.stats.compactionErrors.Add(1)
+	if s.compErrors != nil {
+		s.compErrors.Inc()
+	}
+	s.compMu.Lock()
+	s.compLastErr = err.Error()
+	s.compMu.Unlock()
+}
+
+// maybeScheduleCompaction starts background compaction workers, up to
+// MaxConcurrentCompactions, each seeded with a claimed round. Workers keep
+// claiming follow-up rounds until the picker finds nothing, then exit.
+// Unlike the old single-flight scheduler, a failed round's error is
+// recorded (stats + metrics) instead of being silently discarded.
+func (s *Store) maybeScheduleCompaction() {
+	for {
+		s.compMu.Lock()
+		if s.compWorkers >= s.opts.MaxConcurrentCompactions {
+			s.compMu.Unlock()
+			return
+		}
+		inputs, bottom, err := s.claimLocked(false, false)
+		if err != nil {
+			s.compMu.Unlock()
+			return
+		}
+		s.compWorkers++
+		s.compRunning++
+		s.compMu.Unlock()
+		s.bg.Add(1)
+		go s.compactWorker(inputs, bottom)
+	}
+}
+
+func (s *Store) compactWorker(inputs []*tableHandle, bottom bool) {
+	defer s.bg.Done()
+	for {
+		err := s.compactRound(inputs, bottom)
+		if err != nil {
+			s.recordCompactionError(err)
+		}
+		s.compMu.Lock()
+		s.unclaimLocked(inputs)
+		s.compRunning--
+		if err == nil {
+			var cerr error
+			if inputs, bottom, cerr = s.claimLocked(false, false); cerr == nil {
+				s.compRunning++
+				s.compCond.Broadcast()
+				s.compMu.Unlock()
+				continue
+			}
+		}
+		s.compWorkers--
+		s.compCond.Broadcast()
+		s.compMu.Unlock()
+		return
+	}
+}
+
+// CompactOnce synchronously runs a single tiered compaction round,
+// bypassing the threshold rule (force). It reports whether a round ran:
+// false with a nil error means there was nothing worth merging.
+func (s *Store) CompactOnce() (bool, error) {
+	s.compMu.Lock()
+	inputs, bottom, err := s.claimLocked(true, false)
+	if err != nil {
+		s.compMu.Unlock()
+		if errors.Is(err, errNoClaim) {
+			return false, nil
+		}
+		return false, err
+	}
+	s.compRunning++
+	s.compMu.Unlock()
+
+	rerr := s.compactRound(inputs, bottom)
+	s.compMu.Lock()
+	s.unclaimLocked(inputs)
+	s.compRunning--
+	s.compCond.Broadcast()
+	s.compMu.Unlock()
+	return true, rerr
+}
+
+// Compact runs a major compaction: every live SSTable is merged into one
+// (the paper's "C1, C2 and C3 are compacted into C1'", §2.1), with full
+// version GC and tombstone dropping. It waits for in-flight background
+// rounds first so it can claim the whole table list. Kept as the explicit
+// administrative entry point; steady-state merging is the incremental
+// tiered engine above.
 func (s *Store) Compact() error {
+	s.compMu.Lock()
+	for s.compRunning > 0 {
+		s.compCond.Wait()
+	}
+	inputs, _, err := s.claimLocked(true, true)
+	if err != nil {
+		s.compMu.Unlock()
+		if errors.Is(err, errNoClaim) {
+			return nil // fewer than two tables: nothing to merge
+		}
+		return err
+	}
+	s.compRunning++
+	s.compMu.Unlock()
+
+	// A claim-all is by construction the complete tail: bottom round.
+	rerr := s.compactRound(inputs, true)
+	s.compMu.Lock()
+	s.unclaimLocked(inputs)
+	s.compRunning--
+	s.compCond.Broadcast()
+	s.compMu.Unlock()
+	return rerr
+}
+
+// WaitCompactions blocks until no compaction round or worker is active.
+// Benchmarks and tests use it to measure completed work; it makes no
+// guarantee that new rounds won't start afterwards.
+func (s *Store) WaitCompactions() {
+	s.compMu.Lock()
+	for s.compRunning > 0 || s.compWorkers > 0 {
+		s.compCond.Wait()
+	}
+	s.compMu.Unlock()
+}
+
+// compactRound merges the claimed inputs into one output table and installs
+// it in their place. Per user key at most MaxVersions puts survive; data
+// masked by a tombstone is dropped; the tombstone itself is dropped only
+// when bottom is true (inputs are the complete tail), otherwise it is
+// rewritten so it keeps masking older tables. Dropping only ever removes
+// cells that are invisible at every timestamp given the surviving cells —
+// version trimming is conservative on subsets (a version is trimmed only
+// when ≥ MaxVersions strictly newer versions exist *within the inputs*,
+// hence globally).
+func (s *Store) compactRound(inputs []*tableHandle, bottom bool) error {
+	s.mu.RLock()
+	hooks := s.postCompact
+	s.mu.RUnlock()
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if len(s.tables) < 2 {
-		s.mu.Unlock()
-		return nil
-	}
-	inputs := make([]*tableHandle, len(s.tables))
-	copy(inputs, s.tables)
-	for _, h := range inputs {
-		h.acquire()
-	}
 	outNum := s.nextFile
 	s.nextFile++
 	s.mu.Unlock()
 
-	release := func() {
-		for _, h := range inputs {
-			h.release()
-		}
+	var bytesRead int64
+	for _, h := range inputs {
+		bytesRead += h.r.Size()
 	}
 
 	name := tableName(s.opts.Dir, outNum)
 	w, err := sstable.NewWriter(s.opts.FS, name)
 	if err != nil {
-		release()
 		return err
 	}
 	fail := func(err error) error {
 		w.Abandon()
 		s.opts.FS.Remove(name)
-		release()
 		return err
 	}
 
@@ -71,6 +399,22 @@ func (s *Store) Compact() error {
 		iters[i] = h.r.Iterator()
 	}
 	merged := newMergeIterator(iters)
+
+	gc := CompactionGC{Bottom: bottom}
+	dropCell := func(c kv.Cell) {
+		s.stats.gcCells.Add(1)
+		if s.compGCCells != nil {
+			s.compGCCells.Inc()
+		}
+		if len(hooks) == 0 {
+			return
+		}
+		if len(gc.Dropped) >= gcSampleCap {
+			gc.Truncated = true
+			return
+		}
+		gc.Dropped = append(gc.Dropped, c.Clone())
+	}
 
 	var curUser []byte
 	kept, masked := 0, false
@@ -81,15 +425,31 @@ func (s *Store) Compact() error {
 			curUser = append(curUser[:0], user...)
 			kept, masked = 0, false
 		}
-		if masked {
-			continue
-		}
 		c := merged.Cell()
 		if c.Tombstone() {
-			masked = true // drop the tombstone and everything below it
+			masked = true // puts below are masked within the inputs
+			if bottom && !s.opts.RetainTombstones {
+				// Nothing older exists outside the inputs: the marker has
+				// done its job and can be retired.
+				s.stats.tombstonesDropped.Add(1)
+				if s.compTombstones != nil {
+					s.compTombstones.Inc()
+				}
+				dropCell(c)
+				continue
+			}
+			// Not at the bottom (or the store retains markers for
+			// at-least-once redelivery): keep every marker (even ones under
+			// a newer marker) so each still masks exactly the versions it
+			// did in older, unmerged tables — and any late redelivered
+			// write of masked data.
+			if err := w.Add(ikey, nil); err != nil {
+				return fail(err)
+			}
 			continue
 		}
-		if kept >= s.opts.MaxVersions {
+		if masked || kept >= s.opts.MaxVersions {
+			dropCell(c)
 			continue
 		}
 		if err := w.Add(ikey, c.Value); err != nil {
@@ -101,50 +461,73 @@ func (s *Store) Compact() error {
 		return fail(err)
 	}
 	if err := w.Finish(); err != nil {
-		release()
 		s.opts.FS.Remove(name)
 		return err
 	}
 	r, err := sstable.Open(s.opts.FS, name, s.opts.BlockCache)
 	if err != nil {
-		release()
 		return err
 	}
 
 	out := &tableHandle{r: r, store: s}
 	out.refs.Store(1)
 
-	// Install: the inputs form a suffix of the current table list (flushes
-	// prepend); replace that suffix with the single output.
+	// Install: splice the inputs out of the table list and put the output at
+	// the newest input's position. Inputs are located by identity — flushes
+	// prepending new tables or sibling rounds splicing elsewhere cannot
+	// disturb a claimed (busy) input, so all of them are present unless the
+	// store closed underneath us.
+	inputSet := make(map[*tableHandle]struct{}, len(inputs))
+	for _, h := range inputs {
+		inputSet[h] = struct{}{}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		release()
 		r.Close()
 		s.opts.FS.Remove(name)
 		return ErrClosed
 	}
-	if len(s.tables) < len(inputs) {
-		s.mu.Unlock()
-		release()
-		return errors.New("lsm: table list shrank during compaction")
-	}
-	cut := len(s.tables) - len(inputs)
-	for i, h := range s.tables[cut:] {
-		if h != inputs[i] {
-			s.mu.Unlock()
-			release()
-			return fmt.Errorf("lsm: table list changed during compaction")
+	newTables := make([]*tableHandle, 0, len(s.tables)-len(inputs)+1)
+	matched, inserted := 0, false
+	for _, h := range s.tables {
+		if _, ok := inputSet[h]; ok {
+			matched++
+			if !inserted {
+				newTables = append(newTables, out)
+				inserted = true
+			}
+			continue
 		}
+		newTables = append(newTables, h)
 	}
-	s.tables = append(append([]*tableHandle{}, s.tables[:cut]...), out)
+	if matched != len(inputs) {
+		s.mu.Unlock()
+		r.Close()
+		s.opts.FS.Remove(name)
+		return errors.New("lsm: compaction inputs vanished from table list")
+	}
+	s.tables = newTables
 	s.mu.Unlock()
 
 	for _, h := range inputs {
 		h.dropped.Store(true)
 		h.release() // the store's own reference
 	}
-	release()
+
 	s.stats.compactions.Add(1)
+	s.stats.compactionBytesRead.Add(bytesRead)
+	s.stats.compactionBytesWritten.Add(r.Size())
+	if s.compRounds != nil {
+		s.compRounds.Inc()
+		s.compBytesRead.Add(bytesRead)
+		s.compBytesWritten.Add(r.Size())
+	}
+
+	if len(hooks) > 0 && (len(gc.Dropped) > 0 || gc.Truncated) {
+		for _, hook := range hooks {
+			hook(gc)
+		}
+	}
 	return nil
 }

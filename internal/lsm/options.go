@@ -35,9 +35,31 @@ type Options struct {
 	// compaction, mirroring HBase's VERSIONS column-family attribute.
 	// Defaults to 3.
 	MaxVersions int
-	// CompactionThreshold is the SSTable count that triggers a merge of all
-	// tables into one. Defaults to 4.
+	// CompactionThreshold is the SSTable count at which the tiered picker
+	// starts forcing merges even when no size tier is full. Defaults to 4.
 	CompactionThreshold int
+	// CompactionFanIn bounds how many SSTables one compaction round may
+	// merge: each round picks at most this many similar-sized tables, so a
+	// round's I/O is bounded no matter how many tables accumulate.
+	// Defaults to 4.
+	CompactionFanIn int
+	// MaxConcurrentCompactions bounds the number of compaction rounds
+	// running at once (each round works on a disjoint table set, so rounds
+	// never conflict). Defaults to 2.
+	MaxConcurrentCompactions int
+	// FullMergeCompaction restores the legacy behavior of merging every
+	// live SSTable in a single round (used as the write-amplification
+	// baseline in benchmarks). Tombstones always drop in this mode because
+	// every round compacts the bottom.
+	FullMergeCompaction bool
+	// RetainTombstones keeps delete markers through every compaction,
+	// including bottom-tier rounds (the data they mask is still GC'd).
+	// Global-index stores set this: asynchronous index maintenance is
+	// at-least-once, so a delayed or crash-redelivered insert of a
+	// superseded entry can arrive long after its delete was applied — and
+	// stays invisible only as long as the delete marker survives. Dropping
+	// the marker would resurrect the stale entry.
+	RetainTombstones bool
 	// BlockCache, when non-nil, caches SSTable data blocks across the store
 	// (typically shared by every store on a region server).
 	BlockCache *sstable.BlockCache
@@ -69,6 +91,12 @@ func (o Options) withDefaults() Options {
 	if o.CompactionThreshold <= 0 {
 		o.CompactionThreshold = 4
 	}
+	if o.CompactionFanIn <= 0 {
+		o.CompactionFanIn = 4
+	}
+	if o.MaxConcurrentCompactions <= 0 {
+		o.MaxConcurrentCompactions = 2
+	}
 	return o
 }
 
@@ -79,5 +107,23 @@ type Stats struct {
 	Gets        int64
 	Scans       int64
 	Flushes     int64
-	Compactions int64
+	Compactions int64 // compaction rounds completed
+
+	// FlushBytes is the total SSTable bytes written by flushes; together
+	// with CompactionBytesWritten it yields the store's write
+	// amplification: (FlushBytes + CompactionBytesWritten) / FlushBytes.
+	FlushBytes             int64
+	CompactionBytesRead    int64
+	CompactionBytesWritten int64
+	// CompactionCellsDropped counts cells garbage-collected by compaction
+	// (excess versions and tombstone-masked data); TombstonesDropped counts
+	// delete markers retired at the bottom tier.
+	CompactionCellsDropped int64
+	TombstonesDropped      int64
+	// CompactionErrors counts failed background rounds;
+	// LastCompactionError holds the most recent failure's message ("" when
+	// none) so operators can see *why* compactions are failing, not just
+	// that they are.
+	CompactionErrors    int64
+	LastCompactionError string
 }

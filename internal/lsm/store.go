@@ -60,15 +60,35 @@ type Store struct {
 	nextFile uint64
 	closed   bool
 
-	flushMu    sync.Mutex // serializes flushes
-	flushing   atomic.Bool
-	compacting atomic.Bool
-	bg         sync.WaitGroup
+	flushMu  sync.Mutex // serializes flushes
+	flushing atomic.Bool
+	bg       sync.WaitGroup
 
-	preFlush []func() // coprocessor hooks run inside the write gate
+	// Compaction scheduling state: claimed (busy) tables, the number of
+	// rounds in flight and of live workers, and the most recent background
+	// failure. compMu orders strictly before mu (a claim holds compMu and
+	// snapshots the table list under mu.RLock); compCond signals round and
+	// worker completion. Flushes never touch this state, so flushing and
+	// compaction proceed in parallel.
+	compMu      sync.Mutex
+	compCond    *sync.Cond
+	compBusy    map[*tableHandle]struct{}
+	compRunning int
+	compWorkers int
+	compLastErr string
+
+	preFlush    []func()             // coprocessor hooks run inside the write gate
+	postCompact []func(CompactionGC) // hooks fed each round's GC'd cells
 
 	stats struct {
 		puts, deletes, gets, scans, flushes, compactions atomic.Int64
+
+		flushBytes             atomic.Int64
+		compactionBytesRead    atomic.Int64
+		compactionBytesWritten atomic.Int64
+		gcCells                atomic.Int64
+		tombstonesDropped      atomic.Int64
+		compactionErrors       atomic.Int64
 	}
 
 	// Stage histograms, resolved once at Open when Options.Metrics is set
@@ -76,6 +96,10 @@ type Store struct {
 	// records each stage where it runs, so the histograms see every
 	// operation, traced or not.
 	stageWAL, stageMem, stageGet, stageScan, stageFlush *metrics.Histogram
+
+	// Compaction counters, resolved at Open alongside the histograms.
+	compRounds, compErrors, compGCCells, compTombstones *metrics.Counter
+	compBytesRead, compBytesWritten, flushBytesC        *metrics.Counter
 }
 
 // recordStage records d into h when stage metrics are enabled.
@@ -93,7 +117,8 @@ func Open(opts Options) (*Store, error) {
 	if opts.FS == nil || opts.Dir == "" {
 		return nil, errors.New("lsm: Options.FS and Options.Dir are required")
 	}
-	s := &Store{opts: opts, mem: memtable.New()}
+	s := &Store{opts: opts, mem: memtable.New(), compBusy: make(map[*tableHandle]struct{})}
+	s.compCond = sync.NewCond(&s.compMu)
 
 	// Open existing SSTables, newest (highest file number) first.
 	names, err := opts.FS.List(opts.Dir + "/")
@@ -147,6 +172,13 @@ func Open(opts Options) (*Store, error) {
 			appends.Add(int64(recs))
 			bytesC.Add(int64(n))
 		})
+		s.compRounds = reg.Counter("diffindex_compaction_rounds_total", table)
+		s.compErrors = reg.Counter("diffindex_compaction_errors_total", table)
+		s.compBytesRead = reg.Counter("diffindex_compaction_bytes_total", metrics.L("dir", "read"), table)
+		s.compBytesWritten = reg.Counter("diffindex_compaction_bytes_total", metrics.L("dir", "write"), table)
+		s.compGCCells = reg.Counter("diffindex_compaction_gc_cells_total", table)
+		s.compTombstones = reg.Counter("diffindex_compaction_tombstones_dropped_total", table)
+		s.flushBytesC = reg.Counter("diffindex_flush_bytes_total", table)
 	}
 	return s, nil
 }
@@ -388,14 +420,17 @@ func (s *Store) Flush() error {
 		return err
 	}
 	s.stats.flushes.Add(1)
+	s.stats.flushBytes.Add(r.Size())
+	if s.flushBytesC != nil {
+		s.flushBytesC.Add(r.Size())
+	}
 
+	// Let the tiered picker decide whether any merge is due (tier full, or
+	// total table count past CompactionThreshold). The scheduler returns
+	// immediately when there is nothing to do or workers are saturated, and
+	// rounds run concurrently with subsequent flushes.
 	if !s.opts.DisableAutoCompact {
-		s.mu.RLock()
-		n := len(s.tables)
-		s.mu.RUnlock()
-		if n >= s.opts.CompactionThreshold {
-			s.maybeScheduleCompaction()
-		}
+		s.maybeScheduleCompaction()
 	}
 	return nil
 }
@@ -557,6 +592,9 @@ func (s *Store) Scan(start, end []byte, ts kv.Timestamp, limit int) ([]ScanResul
 
 // Stats returns a snapshot of the store's operation counters.
 func (s *Store) Stats() Stats {
+	s.compMu.Lock()
+	lastErr := s.compLastErr
+	s.compMu.Unlock()
 	return Stats{
 		Puts:        s.stats.puts.Load(),
 		Deletes:     s.stats.deletes.Load(),
@@ -564,6 +602,14 @@ func (s *Store) Stats() Stats {
 		Scans:       s.stats.scans.Load(),
 		Flushes:     s.stats.flushes.Load(),
 		Compactions: s.stats.compactions.Load(),
+
+		FlushBytes:             s.stats.flushBytes.Load(),
+		CompactionBytesRead:    s.stats.compactionBytesRead.Load(),
+		CompactionBytesWritten: s.stats.compactionBytesWritten.Load(),
+		CompactionCellsDropped: s.stats.gcCells.Load(),
+		TombstonesDropped:      s.stats.tombstonesDropped.Load(),
+		CompactionErrors:       s.stats.compactionErrors.Load(),
+		LastCompactionError:    lastErr,
 	}
 }
 

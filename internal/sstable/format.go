@@ -23,7 +23,7 @@ import (
 const TargetBlockSize = 4 * 1024
 
 const (
-	footerLen = 48
+	footerLen = 56
 	magic     = 0xD1FF1DE0CAFEB10C
 )
 
@@ -36,6 +36,10 @@ type footer struct {
 	filterOff, filterLen uint64
 	indexOff, indexLen   uint64
 	entryCount           uint64
+	// tombstoneCount records how many entries are delete markers, letting
+	// the compaction layer see per-table garbage pressure without reading
+	// data blocks.
+	tombstoneCount uint64
 }
 
 func (f footer) marshal() []byte {
@@ -45,7 +49,8 @@ func (f footer) marshal() []byte {
 	binary.LittleEndian.PutUint64(out[16:], f.indexOff)
 	binary.LittleEndian.PutUint64(out[24:], f.indexLen)
 	binary.LittleEndian.PutUint64(out[32:], f.entryCount)
-	binary.LittleEndian.PutUint64(out[40:], magic)
+	binary.LittleEndian.PutUint64(out[40:], f.tombstoneCount)
+	binary.LittleEndian.PutUint64(out[48:], magic)
 	return out
 }
 
@@ -54,7 +59,7 @@ func unmarshalFooter(b []byte) (footer, error) {
 	if len(b) != footerLen {
 		return f, fmt.Errorf("%w: footer length %d", ErrBadTable, len(b))
 	}
-	if binary.LittleEndian.Uint64(b[40:]) != magic {
+	if binary.LittleEndian.Uint64(b[48:]) != magic {
 		return f, fmt.Errorf("%w: bad magic", ErrBadTable)
 	}
 	f.filterOff = binary.LittleEndian.Uint64(b[0:])
@@ -62,6 +67,7 @@ func unmarshalFooter(b []byte) (footer, error) {
 	f.indexOff = binary.LittleEndian.Uint64(b[16:])
 	f.indexLen = binary.LittleEndian.Uint64(b[24:])
 	f.entryCount = binary.LittleEndian.Uint64(b[32:])
+	f.tombstoneCount = binary.LittleEndian.Uint64(b[40:])
 	return f, nil
 }
 

@@ -22,10 +22,11 @@ type Reader struct {
 	index  []indexEntry
 	filter *bloom.Filter
 
-	smallest []byte // smallest user key, from the index block
-	largest  []byte // largest user key, from the index block
-	count    uint64
-	size     int64
+	smallest   []byte // smallest user key, from the index block
+	largest    []byte // largest user key, from the index block
+	count      uint64
+	tombstones uint64
+	size       int64
 }
 
 // Open opens a finished table file. cache may be nil to disable block
@@ -80,14 +81,15 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 	}
 
 	r := &Reader{
-		f:        f,
-		name:     name,
-		cache:    cache,
-		index:    index,
-		filter:   filter,
-		smallest: smallest,
-		count:    ftr.entryCount,
-		size:     size,
+		f:          f,
+		name:       name,
+		cache:      cache,
+		index:      index,
+		filter:     filter,
+		smallest:   smallest,
+		count:      ftr.entryCount,
+		tombstones: ftr.tombstoneCount,
+		size:       size,
 	}
 	if len(index) > 0 {
 		// Recover user-key bounds without a data-block read: the smallest
@@ -103,6 +105,11 @@ func (r *Reader) Name() string { return r.name }
 
 // EntryCount returns the number of entries in the table.
 func (r *Reader) EntryCount() uint64 { return r.count }
+
+// TombstoneCount returns the number of delete markers in the table,
+// recorded in the footer at write time — per-table garbage pressure
+// readable without touching data blocks.
+func (r *Reader) TombstoneCount() uint64 { return r.tombstones }
 
 // Size returns the file size in bytes.
 func (r *Reader) Size() int64 { return r.size }

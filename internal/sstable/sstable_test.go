@@ -81,6 +81,37 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// The footer's tombstone count lets the compaction picker reason about a
+// table without reading it; it must survive the write→open round trip.
+func TestTombstoneCountInFooter(t *testing.T) {
+	fs := vfs.NewMemFS()
+	cells := []kv.Cell{
+		{Key: []byte("a"), Value: []byte("v"), Ts: 1, Kind: kv.KindPut},
+		{Key: []byte("b"), Value: nil, Ts: 2, Kind: kv.KindDelete},
+		{Key: []byte("c"), Value: []byte("v"), Ts: 3, Kind: kv.KindPut},
+		{Key: []byte("c"), Value: nil, Ts: 4, Kind: kv.KindDelete},
+	}
+	buildTable(t, fs, "t.sst", cells)
+	r, err := Open(fs, "t.sst", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.TombstoneCount(); got != 2 {
+		t.Errorf("TombstoneCount = %d, want 2", got)
+	}
+
+	buildTable(t, fs, "clean.sst", cells[:1])
+	rc, err := Open(fs, "clean.sst", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if got := rc.TombstoneCount(); got != 0 {
+		t.Errorf("TombstoneCount = %d, want 0", got)
+	}
+}
+
 func TestGetVersionVisibility(t *testing.T) {
 	fs := vfs.NewMemFS()
 	key := []byte("k")

@@ -25,6 +25,7 @@ type Writer struct {
 
 	smallest, largest []byte // user-key bounds
 	count             uint64
+	tombstones        uint64
 	finished          bool
 }
 
@@ -58,6 +59,9 @@ func (w *Writer) Add(ikey, value []byte) error {
 	}
 	w.largest = append(w.largest[:0], user...)
 	w.count++
+	if _, _, kind, err := kv.ParseInternalKey(ikey); err == nil && kind == kv.KindDelete {
+		w.tombstones++
+	}
 
 	w.block = appendBlockEntry(w.block, ikey, value)
 	if len(w.block) >= TargetBlockSize {
@@ -96,6 +100,7 @@ func (w *Writer) Finish() error {
 
 	var ftr footer
 	ftr.entryCount = w.count
+	ftr.tombstoneCount = w.tombstones
 
 	filter := bloom.New(w.userKeys, bloom.BitsPerKey).Marshal()
 	ftr.filterOff = w.blockOff
