@@ -27,6 +27,12 @@
 #      network faults must uphold every invariant (DESIGN.md §9); a second
 #      short run arms incremental compaction (-compact-threshold 2) so
 #      tiered merges and the piggybacked cleanse run under faults too
+#  10. integrity         — the scrub/anti-entropy surface (DESIGN.md §11):
+#      scrubber + anti-entropy tests under -race; `lsmtool verify` must
+#      pass clean and exit non-zero on an injected corruption; the chaos
+#      integrity pair (scrubber detects misreads, sweep repairs injected
+#      divergence, unfaulted control stays silent); and a one-iteration
+#      BenchmarkScrubOverhead smoke
 set -eu
 cd "$(dirname "$0")"
 
@@ -70,5 +76,21 @@ go run ./cmd/chaoskit -seed 1 -scenarios 4 -duration 400ms -trace=false
 # arm another bounded merge round, so tombstone handling and the
 # compaction-piggybacked index cleanse run under the same fault schedule.
 go run ./cmd/chaoskit -seed 2 -scenarios 2 -duration 300ms -trace=false -compact-threshold 2
+
+echo "== integrity (scrub + anti-entropy + health, DESIGN.md §11) =="
+# Race pass over the integrity subsystem: the background scrubber, checksum
+# round-trips, the anti-entropy sweep and the health surface.
+go test -race -count=1 -run 'Scrub|Checksum|AntiEntropy|Health|Integrity' ./internal/lsm ./internal/sstable ./internal/core ./internal/chaos .
+# Offline sweep gate: a clean store must verify; a corrupted one must be
+# detected AND fail the process (exit status is the contract CI relies on).
+go run ./cmd/lsmtool verify -rows 500 -tables 3 > /dev/null
+if go run ./cmd/lsmtool verify -rows 500 -tables 3 -corrupt 1 > /dev/null 2>&1; then
+    echo "lsmtool verify did not fail on a corrupted table" >&2
+    exit 1
+fi
+# Online pair: faulted run (scrubber must detect armed misreads, anti-entropy
+# must repair injected divergence) plus the unfaulted false-positive control.
+go run ./cmd/chaoskit -scenarios 0 -integrity -trace=false
+go test -run=NONE -bench=BenchmarkScrubOverhead -benchtime=1x ./internal/lsm
 
 echo "CI PASSED"

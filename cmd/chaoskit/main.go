@@ -9,6 +9,10 @@
 // so five scenarios cover every scheme at least once. Exit status is 0 iff
 // every scenario upheld every invariant. -ablation additionally runs the
 // §5.3 drain-on-flush negative control, which must produce violations.
+// -integrity additionally runs the silent-corruption pair: a faulted run
+// where the background scrubber must detect injected misreads (reported as
+// detection latency) and the anti-entropy sweep must repair injected index
+// divergence, plus an unfaulted control that must stay entirely clean.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 	threads := flag.Int("threads", 3, "workload threads")
 	duration := flag.Duration("duration", 1200*time.Millisecond, "chaos window per scenario")
 	ablation := flag.Bool("ablation", false, "also run the drain-on-flush ablation pair (broken run MUST violate)")
+	integrity := flag.Bool("integrity", false, "also run the silent-corruption + index-divergence pair (faulted run + clean control)")
 	trace := flag.Bool("trace", true, "print each scenario's planned event trace")
 	compactThreshold := flag.Int("compact-threshold", 0, "per-store SSTable count that arms incremental compaction (0 = chaos default 64, which leaves it cold; try 2 to keep the tiered engine busy)")
 	compactFanIn := flag.Int("compact-fanin", 0, "tables merged per compaction round (0 = store default)")
@@ -96,6 +101,37 @@ func main() {
 				fail = true
 			}
 			if !broken && !res.OK() {
+				fail = true
+			}
+		}
+	}
+
+	if *integrity {
+		fmt.Printf("\n%-22s %8s %14s %9s %6s %9s %9s %8s %11s %8s\n",
+			"integrity scenario", "corrupt", "detect-latency", "injected", "found", "repaired", "residual", "checked", "violations", "elapsed")
+		for _, faulted := range []bool{true, false} {
+			name := "faulted"
+			if !faulted {
+				name = "control"
+			}
+			res, err := chaos.RunIntegrity(*seed, faulted)
+			if err != nil {
+				fmt.Printf("%-22s ERROR: %v\n", name, err)
+				fail = true
+				continue
+			}
+			latency := "—"
+			if faulted {
+				latency = res.DetectionLatency.Round(time.Millisecond).String()
+			}
+			fmt.Printf("%-22s %8d %14s %9d %6d %9d %9d %8d %11d %8s\n",
+				name, res.ScrubCorruptions, latency,
+				res.InjectedMissing+res.InjectedStale, res.Found, res.Repaired, res.Residual,
+				res.Checked, len(res.Violations), res.Elapsed.Round(time.Millisecond))
+			for _, v := range res.Violations {
+				fmt.Println("  VIOLATION " + v.String())
+			}
+			if !res.OK() {
 				fail = true
 			}
 		}

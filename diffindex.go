@@ -138,6 +138,20 @@ type Options struct {
 	// demonstrates why the protocol is needed.
 	UnsafeDisableDrainOnFlush bool
 
+	// VerifyChecksums makes every SSTable block read verify the block's
+	// CRC32C before use, turning silent disk corruption into a read error.
+	// Off by default: the background scrubber provides continuous coverage
+	// without the per-read cost.
+	VerifyChecksums bool
+	// DisableScrub turns off the per-region background integrity scrubber
+	// (see DESIGN.md §11).
+	DisableScrub bool
+	// ScrubInterval is the pause between scrub cycles per region store
+	// (default 5s); ScrubBlockPace the pause between block verifications
+	// (default 1ms ≈ 4 MiB/s per store; negative disables pacing).
+	ScrubInterval  time.Duration
+	ScrubBlockPace time.Duration
+
 	// DisableTracing turns off per-operation traces (the op-latency
 	// histograms and the slow-op log). Stage and counter metrics still
 	// record; see DESIGN.md's Observability section for what each costs.
@@ -172,6 +186,10 @@ func Open(opts Options) *DB {
 		CompactionFanIn:          opts.CompactionFanIn,
 		MaxConcurrentCompactions: opts.MaxConcurrentCompactions,
 		ReadFanOut:               opts.ReadFanOut,
+		VerifyChecksums:          opts.VerifyChecksums,
+		DisableScrub:             opts.DisableScrub,
+		ScrubInterval:            opts.ScrubInterval,
+		ScrubBlockPace:           opts.ScrubBlockPace,
 		DisableTracing:           opts.DisableTracing,
 		SlowOpK:                  opts.SlowOpLog,
 	})
@@ -521,6 +539,47 @@ var ErrSessionExpired = core.ErrSessionExpired
 // stale entries behind by design.
 func (cl *Client) Cleanse(table string, columns ...string) (checked, repaired int, err error) {
 	return cl.db.m.Cleanse(cl.c, table, columns...)
+}
+
+// IndexVerifyReport summarizes one index's anti-entropy sweep: how many
+// digest buckets diverged between the base table and the index, the
+// confirmed violations by kind (missing = entry absent from the index,
+// breaking index-complete; stale = entry no base row justifies, breaking
+// index-exact), candidates that re-verified clean (in-flight updates), and
+// the repairs applied.
+type IndexVerifyReport struct {
+	Table, Index     string
+	Scheme           Scheme
+	Buckets          int
+	DivergentBuckets int
+	PairsCompared    int
+	Missing, Stale   int
+	Transient        int
+	Repaired         int
+}
+
+// Healthy reports whether the sweep confirmed zero violations.
+func (r IndexVerifyReport) Healthy() bool { return r.Missing == 0 && r.Stale == 0 }
+
+// VerifyIndexes runs one anti-entropy sweep over every global index of a
+// table: merkle-style hash-bucket digests of the base table and the index
+// are compared, only divergent buckets are enumerated, every candidate
+// violation is re-verified with point reads, and confirmed violations are
+// repaired in place (missing entries inserted, stale entries deleted, at the
+// timestamps §4.3 prescribes). Sweep activity is counted in the
+// diffindex_antientropy_* metrics and feeds DB.Health.
+func (cl *Client) VerifyIndexes(table string) ([]IndexVerifyReport, error) {
+	reps, err := cl.db.m.VerifyIndexes(cl.c, table)
+	out := make([]IndexVerifyReport, len(reps))
+	for i, r := range reps {
+		out[i] = IndexVerifyReport{
+			Table: r.Table, Index: r.Index, Scheme: Scheme(r.Scheme),
+			Buckets: r.Buckets, DivergentBuckets: r.DivergentBuckets,
+			PairsCompared: r.PairsCompared, Missing: r.Missing, Stale: r.Stale,
+			Transient: r.Transient, Repaired: r.Repaired,
+		}
+	}
+	return out, err
 }
 
 // SetIndexScheme changes an index's maintenance scheme at runtime,

@@ -113,6 +113,36 @@ func TestDrainAblationCaughtByCheckers(t *testing.T) {
 	}
 }
 
+// The integrity pair: a faulted run where the scrubber must detect injected
+// misreads and the anti-entropy sweep must repair injected divergence, and a
+// clean control where both defenses must stay silent (no false positives).
+func TestIntegrityScenarioPair(t *testing.T) {
+	faulted, err := RunIntegrity(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range faulted.Violations {
+		t.Errorf("faulted run: %s", v)
+	}
+	if faulted.ScrubCorruptions == 0 || faulted.DetectionLatency <= 0 {
+		t.Errorf("no detection: %+v", faulted)
+	}
+	if faulted.Found != faulted.InjectedMissing+faulted.InjectedStale || faulted.Repaired != faulted.Found {
+		t.Errorf("sweep missed injected divergence: %+v", faulted)
+	}
+
+	control, err := RunIntegrity(7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range control.Violations {
+		t.Errorf("control run: %s", v)
+	}
+	if control.ScrubCorruptions != 0 || control.Found != 0 || control.Residual != 0 {
+		t.Errorf("false positives on control run: %+v", control)
+	}
+}
+
 // Incremental compaction under faults: a table-count trigger of 2 keeps the
 // tiered engine busy for the whole window (every flush arms another round),
 // with extra flush events feeding it tables while crashes, partitions and

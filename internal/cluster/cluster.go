@@ -70,6 +70,15 @@ type Config struct {
 	// MultiApply, BroadcastScan, RawScan). Defaults to 8; 1 forces the
 	// serial behaviour.
 	ReadFanOut int
+	// VerifyChecksums makes every region store verify SSTable block CRCs on
+	// read (see lsm.Options.VerifyChecksums).
+	VerifyChecksums bool
+	// DisableScrub turns off the per-region background integrity scrubber.
+	DisableScrub bool
+	// ScrubInterval / ScrubBlockPace tune the per-region scrubber (zero
+	// values take the lsm defaults: 5s between cycles, 1ms between blocks).
+	ScrubInterval  time.Duration
+	ScrubBlockPace time.Duration
 	// Metrics is the registry every layer of the cluster records into. A
 	// nil value gets a fresh registry, so metrics are always on; the
 	// registry is lock-free on the hot path.

@@ -98,6 +98,10 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 		MaxConcurrentCompactions: s.cluster.cfg.MaxConcurrentCompactions,
 		RetainTombstones:         s.cluster.retainsTombstones(info.Table),
 		BlockCache:               cache,
+		VerifyChecksums:          s.cluster.cfg.VerifyChecksums,
+		DisableScrub:             s.cluster.cfg.DisableScrub,
+		ScrubInterval:            s.cluster.cfg.ScrubInterval,
+		ScrubBlockPace:           s.cluster.cfg.ScrubBlockPace,
 		Metrics:                  s.cluster.metrics,
 		MetricsTable:             info.Table,
 		OnReplay: func(c kv.Cell) {

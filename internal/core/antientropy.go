@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
+)
+
+// Anti-entropy index verification: the background check that a global index
+// actually delivers the contract its scheme promises. Diff-Index's schemes
+// bound WHERE divergence can appear — sync-full leaves none, sync-insert
+// leaves only stale entries (repaired lazily on read), async schemes leave a
+// convergence window (§6.1) — but bugs, lost queues or disk corruption can
+// breach those bounds silently: an index read simply misses rows. The sweep
+// compares the index against the base table wholesale and classifies every
+// divergence against the §6.1 contracts:
+//
+//   - a base row whose expected entry is absent from the index breaks
+//     index-complete (reads silently miss the row) — "missing";
+//   - an index entry no base row justifies breaks index-exact (reads return
+//     phantom rows, modulo the double-check of sync-insert) — "stale".
+//
+// The comparison is digest-first (see cluster's hash-bucket protocol): only
+// buckets whose base-side and index-side digests differ are enumerated
+// pair-by-pair, so a healthy index costs two digest scans and no enumeration.
+// Because the two sides are scanned without a common snapshot, in-flight
+// writes and queued async updates can masquerade as divergence; every
+// candidate is therefore re-verified with point reads before it is counted
+// or repaired, and candidates that re-verify clean are reported as transient.
+
+// VerifyBuckets is the digest-vector width used by VerifyIndexes. More
+// buckets localize divergence better (fewer pairs enumerated per divergent
+// bucket); fewer buckets shrink the digest exchange.
+const VerifyBuckets = 64
+
+// IndexVerifyReport summarizes one index's anti-entropy sweep.
+type IndexVerifyReport struct {
+	Table string
+	Index string
+	// Scheme is the index's maintenance scheme at sweep time.
+	Scheme Scheme
+	// Buckets is the digest-vector width; DivergentBuckets how many buckets
+	// differed between the base side and the index side.
+	Buckets          int
+	DivergentBuckets int
+	// PairsCompared counts the (value, row) pairs enumerated from the
+	// divergent buckets, both sides combined.
+	PairsCompared int
+	// Missing / Stale are CONFIRMED violations: expected entries absent from
+	// the index (index-complete breach) and index entries without a matching
+	// base row (index-exact breach).
+	Missing int
+	Stale   int
+	// Transient counts candidates that re-verified clean — in-flight or
+	// queued-async updates caught mid-propagation, not violations.
+	Transient int
+	// Repaired counts violations fixed this sweep (missing entries inserted,
+	// stale entries deleted, both at the timestamps §4.3 prescribes).
+	Repaired int
+}
+
+// Healthy reports whether the sweep confirmed zero violations.
+func (r IndexVerifyReport) Healthy() bool { return r.Missing == 0 && r.Stale == 0 }
+
+func (r IndexVerifyReport) String() string {
+	return fmt.Sprintf("%s[%s]: buckets %d/%d divergent, %d pairs, %d missing, %d stale, %d transient, %d repaired",
+		r.Index, r.Scheme, r.DivergentBuckets, r.Buckets, r.PairsCompared, r.Missing, r.Stale, r.Transient, r.Repaired)
+}
+
+// VerifyIndexes runs one anti-entropy sweep over every GLOBAL index of a
+// table, repairing confirmed violations through the same raw-apply path the
+// maintenance schemes use. Local indexes are skipped: their entries live in
+// the same region as their rows and are maintained inside the row's write,
+// so there is no cross-table state to diverge.
+func (m *Manager) VerifyIndexes(cl *cluster.Client, table string) ([]IndexVerifyReport, error) {
+	var reports []IndexVerifyReport
+	for _, def := range m.catalog.IndexesOn(table) {
+		if def.Local {
+			continue
+		}
+		rep, err := m.verifyIndex(cl, def)
+		if err != nil {
+			return reports, fmt.Errorf("core: verify %s: %w", def.Name(), err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+func (m *Manager) verifyIndex(cl *cluster.Client, def IndexDef) (IndexVerifyReport, error) {
+	rep := IndexVerifyReport{Table: def.Table, Index: def.Name(), Scheme: def.Scheme, Buckets: VerifyBuckets}
+	m.reg.Counter("diffindex_antientropy_sweeps_total", metrics.L("table", def.Table)).Inc()
+
+	// Phase 1: digest exchange. One scan of each side, fixed-size result.
+	baseDig, err := cl.BaseTableIndexDigest(def.Table, def.Columns, VerifyBuckets, kv.MaxTimestamp)
+	if err != nil {
+		return rep, err
+	}
+	idxDig, err := cl.IndexTableDigest(def.Name(), VerifyBuckets, kv.MaxTimestamp)
+	if err != nil {
+		return rep, err
+	}
+	var divergent []int
+	for i := range baseDig {
+		if baseDig[i] != idxDig[i] {
+			divergent = append(divergent, i)
+		}
+	}
+	rep.DivergentBuckets = len(divergent)
+	m.reg.Counter("diffindex_antientropy_buckets_total", metrics.L("result", "clean")).Add(int64(VerifyBuckets - len(divergent)))
+	m.reg.Counter("diffindex_antientropy_buckets_total", metrics.L("result", "divergent")).Add(int64(len(divergent)))
+	if len(divergent) == 0 {
+		return rep, nil
+	}
+
+	// Phase 2: enumerate ONLY the divergent buckets and diff the pair sets.
+	basePairs, err := cl.BaseTableBucketEntries(def.Table, def.Columns, VerifyBuckets, divergent, kv.MaxTimestamp)
+	if err != nil {
+		return rep, err
+	}
+	idxPairs, err := cl.IndexTableBucketEntries(def.Name(), VerifyBuckets, divergent, kv.MaxTimestamp)
+	if err != nil {
+		return rep, err
+	}
+	rep.PairsCompared = len(basePairs) + len(idxPairs)
+	baseSet := make(map[string]cluster.IndexEntryPair, len(basePairs))
+	for _, p := range basePairs {
+		baseSet[string(kv.IndexKey(p.Value, p.Row))] = p
+	}
+	idxSet := make(map[string]cluster.IndexEntryPair, len(idxPairs))
+	for _, p := range idxPairs {
+		idxSet[string(kv.IndexKey(p.Value, p.Row))] = p
+	}
+	var missing, stale []cluster.IndexEntryPair
+	for k, p := range baseSet {
+		if _, ok := idxSet[k]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	for k, p := range idxSet {
+		if _, ok := baseSet[k]; !ok {
+			stale = append(stale, p)
+		}
+	}
+
+	// Phase 3: re-verify candidates with point reads, then repair. The two
+	// enumeration scans above are not a snapshot, so a write racing the sweep
+	// shows up as a candidate; the point reads below see the current state
+	// and filter those out.
+	var repairs []kv.Cell
+	confirmedMissing, transient, err := m.confirmMissing(cl, def, missing)
+	if err != nil {
+		return rep, err
+	}
+	rep.Transient += transient
+	for _, p := range confirmedMissing {
+		// Insert the absent entry at the base row's newest indexed-column
+		// timestamp — the same-timestamp rule (§4.3) keeps the repair
+		// idempotent under redelivery and ordered against future updates.
+		repairs = append(repairs, kv.Cell{Key: kv.IndexKey(p.Value, p.Row), Ts: p.Ts, Kind: kv.KindPut})
+	}
+	rep.Missing = len(confirmedMissing)
+
+	confirmedStale, transient, err := m.confirmStale(cl, def, stale)
+	if err != nil {
+		return rep, err
+	}
+	rep.Transient += transient
+	for _, p := range confirmedStale {
+		// Delete at the entry's own timestamp, exactly like the lazy repair
+		// of Algorithm 2 and Cleanse.
+		repairs = append(repairs, kv.Cell{Key: kv.IndexKey(p.Value, p.Row), Ts: p.Ts, Kind: kv.KindDelete})
+	}
+	rep.Stale = len(confirmedStale)
+
+	m.reg.Counter("diffindex_antientropy_violations_total", metrics.L("kind", "missing")).Add(int64(rep.Missing))
+	m.reg.Counter("diffindex_antientropy_violations_total", metrics.L("kind", "stale")).Add(int64(rep.Stale))
+
+	if len(repairs) > 0 {
+		if err := cl.MultiApply(def.Name(), repairs); err != nil {
+			return rep, err
+		}
+		rep.Repaired = len(repairs)
+		m.reg.Counter("diffindex_antientropy_repairs_total", metrics.L("kind", "missing")).Add(int64(rep.Missing))
+		m.reg.Counter("diffindex_antientropy_repairs_total", metrics.L("kind", "stale")).Add(int64(rep.Stale))
+		m.Counters.IndexPut.Add(int64(rep.Missing))
+		m.Counters.IndexDel.Add(int64(rep.Stale))
+	}
+	return rep, nil
+}
+
+// confirmMissing re-verifies missing-entry candidates: a candidate is a real
+// index-complete breach only if the base row STILL produces that index value
+// and the index STILL has no entry for it. Both checks batch into one
+// region-grouped wave each.
+func (m *Manager) confirmMissing(cl *cluster.Client, def IndexDef, cands []cluster.IndexEntryPair) (confirmed []cluster.IndexEntryPair, transient int, err error) {
+	if len(cands) == 0 {
+		return nil, 0, nil
+	}
+	vals := make([][]byte, len(cands))
+	rows := make([][]byte, len(cands))
+	specs := make([]cluster.GetSpec, len(cands))
+	for i, p := range cands {
+		vals[i], rows[i] = p.Value, p.Row
+		// Index tables route by store key, so a nil Route routes by Key.
+		specs[i] = cluster.GetSpec{Key: kv.IndexKey(p.Value, p.Row)}
+	}
+	baseKeep, err := m.doubleCheckBatch(cl, def, vals, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	idxRes, err := cl.MultiGet(def.Name(), specs, kv.MaxTimestamp)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, p := range cands {
+		switch {
+		case idxRes[i].Found:
+			// The entry arrived between enumeration and now (async delivery
+			// in flight during the scan) — not a violation.
+			transient++
+		case !baseKeep[i]:
+			// The base row changed since enumeration; the expected pair no
+			// longer exists, so there is nothing to repair.
+			transient++
+		default:
+			confirmed = append(confirmed, p)
+		}
+	}
+	return confirmed, transient, nil
+}
+
+// confirmStale re-verifies stale-entry candidates with the same
+// double-check sync-insert reads use (Algorithm 2): an entry is a real
+// index-exact breach only if the base row does NOT currently produce its
+// value.
+func (m *Manager) confirmStale(cl *cluster.Client, def IndexDef, cands []cluster.IndexEntryPair) (confirmed []cluster.IndexEntryPair, transient int, err error) {
+	if len(cands) == 0 {
+		return nil, 0, nil
+	}
+	vals := make([][]byte, len(cands))
+	rows := make([][]byte, len(cands))
+	for i, p := range cands {
+		vals[i], rows[i] = p.Value, p.Row
+	}
+	keep, err := m.doubleCheckBatch(cl, def, vals, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, p := range cands {
+		if keep[i] {
+			transient++ // base caught up and matches the entry after all
+			continue
+		}
+		confirmed = append(confirmed, p)
+	}
+	return confirmed, transient, nil
+}
+
+// VerifyIndex runs the sweep for one index, by table and columns.
+func (m *Manager) VerifyIndex(cl *cluster.Client, table string, columns ...string) (IndexVerifyReport, error) {
+	def, ok := m.catalog.Find(table, columns...)
+	if !ok {
+		return IndexVerifyReport{}, fmt.Errorf("core: no index on %s(%v)", table, columns)
+	}
+	if def.Local {
+		return IndexVerifyReport{}, fmt.Errorf("core: %s is a local index; anti-entropy applies to global indexes", def.Name())
+	}
+	return m.verifyIndex(cl, def)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"diffindex/internal/kv"
+)
+
+// loadRows writes n rows with a "color" column through the normal put path
+// (index maintenance runs), spreading rows across both regions of the test
+// table.
+func loadRows(t testing.TB, e *env, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e.put(t, fmt.Sprintf("item%03d", i*25), "color", fmt.Sprintf("c%d", i%5))
+	}
+}
+
+func TestAntiEntropyCleanIndex(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, SyncFull, "color")
+	loadRows(t, e, 40)
+
+	reports, err := e.m.VerifyIndexes(e.cl, e.tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	rep := reports[0]
+	if !rep.Healthy() || rep.DivergentBuckets != 0 || rep.Repaired != 0 {
+		t.Fatalf("clean index reported divergence: %s", rep)
+	}
+	if rep.Buckets != VerifyBuckets {
+		t.Fatalf("Buckets = %d", rep.Buckets)
+	}
+}
+
+func TestAntiEntropyRepairsMissingEntry(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, SyncFull, "color")
+	loadRows(t, e, 40)
+
+	// Simulate a LOST index insert: write a base row through the raw apply
+	// path, which bypasses the coprocessor — the base has the row, the index
+	// never saw it, and no tombstone exists. This is exactly the state a
+	// dropped queue entry or buggy maintenance path leaves behind.
+	row := []byte("item123")
+	if err := e.cl.RawApply(e.tbl, row, []kv.Cell{{
+		Key: kv.BaseKey(row, []byte("color")), Value: []byte("lost"), Ts: 999999, Kind: kv.KindPut,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.lookupRows(t, []string{"color"}, "lost"); len(got) != 0 {
+		t.Fatalf("index unexpectedly already has the entry: %v", got)
+	}
+
+	rep, err := e.m.VerifyIndex(e.cl, e.tbl, "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 1 || rep.Stale != 0 || rep.Repaired != 1 {
+		t.Fatalf("report: %s", rep)
+	}
+	if rep.DivergentBuckets == 0 {
+		t.Fatalf("digest comparison missed the divergence: %s", rep)
+	}
+
+	// The repaired entry now serves index reads.
+	if got := e.lookupRows(t, []string{"color"}, "lost"); len(got) != 1 || got[0] != "item123" {
+		t.Fatalf("post-repair lookup = %v", got)
+	}
+	// And the index digests converge: a second sweep is clean.
+	rep2, err := e.m.VerifyIndex(e.cl, e.tbl, "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Healthy() || rep2.DivergentBuckets != 0 {
+		t.Fatalf("residual divergence after repair: %s", rep2)
+	}
+}
+
+func TestAntiEntropyRepairsStaleEntry(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	def := e.createIndex(t, SyncFull, "color")
+	loadRows(t, e, 40)
+
+	// Simulate a PHANTOM entry: an index key no base row justifies, injected
+	// straight into the index table (the state a lost delete or misdirected
+	// insert leaves behind). Sync-full reads trust the index, so the phantom
+	// is served to queries until anti-entropy removes it.
+	phantomKey := kv.IndexKey([]byte("phantom"), []byte("item042"))
+	if err := e.cl.RawApply(def.Name(), phantomKey, []kv.Cell{{
+		Key: phantomKey, Ts: 777777, Kind: kv.KindPut,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.lookupRows(t, []string{"color"}, "phantom"); len(got) != 1 {
+		t.Fatalf("phantom not visible pre-repair: %v", got)
+	}
+
+	rep, err := e.m.VerifyIndex(e.cl, e.tbl, "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale != 1 || rep.Missing != 0 || rep.Repaired != 1 {
+		t.Fatalf("report: %s", rep)
+	}
+	if got := e.lookupRows(t, []string{"color"}, "phantom"); len(got) != 0 {
+		t.Fatalf("phantom still served after repair: %v", got)
+	}
+	rep2, err := e.m.VerifyIndex(e.cl, e.tbl, "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Healthy() || rep2.DivergentBuckets != 0 {
+		t.Fatalf("residual divergence after repair: %s", rep2)
+	}
+}
+
+func TestAntiEntropyCompositeIndex(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, SyncFull, "a", "b")
+	for i := 0; i < 20; i++ {
+		row := fmt.Sprintf("item%03d", i*50)
+		if _, err := e.cl.Put(e.tbl, []byte(row), map[string][]byte{
+			"a": []byte(fmt.Sprintf("a%d", i%3)),
+			"b": []byte(fmt.Sprintf("b%d", i%4)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lost composite insert: both columns through the raw path at one ts.
+	row := []byte("item777")
+	if err := e.cl.RawApply(e.tbl, row, []kv.Cell{
+		{Key: kv.BaseKey(row, []byte("a")), Value: []byte("ax"), Ts: 500000, Kind: kv.KindPut},
+		{Key: kv.BaseKey(row, []byte("b")), Value: []byte("bx"), Ts: 500000, Kind: kv.KindPut},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := e.m.VerifyIndex(e.cl, e.tbl, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 1 || rep.Repaired != 1 {
+		t.Fatalf("report: %s", rep)
+	}
+	want := kv.EncodeComposite([]byte("ax"), []byte("bx"))
+	if got := e.lookupRows(t, []string{"a", "b"}, string(want)); len(got) != 1 || got[0] != "item777" {
+		t.Fatalf("post-repair composite lookup = %v", got)
+	}
+}
+
+func TestAntiEntropyAsyncIndexAfterConvergence(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	e.createIndex(t, AsyncSimple, "color")
+	loadRows(t, e, 40)
+	if !e.m.WaitForConvergence(5e9) {
+		t.Fatal("async index did not converge")
+	}
+	rep, err := e.m.VerifyIndex(e.cl, e.tbl, "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() || rep.Repaired != 0 {
+		t.Fatalf("converged async index reported divergence: %s", rep)
+	}
+}
+
+func TestAntiEntropySkipsLocalIndexes(t *testing.T) {
+	e := newEnv(t, 3, ManagerOptions{})
+	def := IndexDef{Table: e.tbl, Columns: []string{"color"}, Scheme: SyncFull, Local: true}
+	if err := e.m.CreateIndex(def, nil); err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, e, 10)
+	reports, err := e.m.VerifyIndexes(e.cl, e.tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("local index swept: %v", reports)
+	}
+	if _, err := e.m.VerifyIndex(e.cl, e.tbl, "color"); err == nil {
+		t.Fatal("VerifyIndex on a local index must fail")
+	}
+}

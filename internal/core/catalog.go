@@ -100,17 +100,5 @@ func (c *Catalog) Find(table string, columns ...string) (IndexDef, bool) {
 // ok is false when any indexed column is absent (rows with missing indexed
 // columns have no index entry, the usual NULL semantics).
 func indexValue(def IndexDef, cols map[string][]byte) ([]byte, bool) {
-	if len(def.Columns) == 1 {
-		v, ok := cols[def.Columns[0]]
-		return v, ok
-	}
-	parts := make([][]byte, len(def.Columns))
-	for i, c := range def.Columns {
-		v, ok := cols[c]
-		if !ok {
-			return nil, false
-		}
-		parts[i] = v
-	}
-	return kv.EncodeComposite(parts...), true
+	return kv.IndexValueFromColumns(def.Columns, cols)
 }

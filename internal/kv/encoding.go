@@ -269,6 +269,29 @@ func LocalIndexValueRange(indexName string, low, high []byte) (lo, hi []byte) {
 	return lo, hi
 }
 
+// IndexValueFromColumns computes an index's value bytes from a row's column
+// values: a single-column index's value is the raw column value; a composite
+// index's value is the order-preserving composite encoding of every column
+// value in definition order. ok is false when any indexed column is absent
+// (rows with missing indexed columns have no index entry — NULL semantics).
+// Both the index-maintenance path and the anti-entropy verifier derive index
+// values through this one function so they can never disagree.
+func IndexValueFromColumns(columns []string, cols map[string][]byte) ([]byte, bool) {
+	if len(columns) == 1 {
+		v, ok := cols[columns[0]]
+		return v, ok
+	}
+	parts := make([][]byte, len(columns))
+	for i, c := range columns {
+		v, ok := cols[c]
+		if !ok {
+			return nil, false
+		}
+		parts[i] = v
+	}
+	return EncodeComposite(parts...), true
+}
+
 // CompareParts compares two byte-string tuples part-by-part, mirroring how
 // their composite encodings compare byte-wise.
 func CompareParts(a, b [][]byte) int {

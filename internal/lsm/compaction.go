@@ -464,7 +464,7 @@ func (s *Store) compactRound(inputs []*tableHandle, bottom bool) error {
 		s.opts.FS.Remove(name)
 		return err
 	}
-	r, err := sstable.Open(s.opts.FS, name, s.opts.BlockCache)
+	r, err := s.openTable(name)
 	if err != nil {
 		return err
 	}

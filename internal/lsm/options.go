@@ -16,6 +16,8 @@
 package lsm
 
 import (
+	"time"
+
 	"diffindex/internal/kv"
 	"diffindex/internal/metrics"
 	"diffindex/internal/sstable"
@@ -79,6 +81,22 @@ type Options struct {
 	DisableAutoFlush bool
 	// DisableAutoCompact turns off count-triggered compactions.
 	DisableAutoCompact bool
+	// VerifyChecksums makes every data-block read verify the block's CRC32C
+	// before use, turning silent corruption into an ErrCorruption read error.
+	// Cache hits are not re-verified (they were checked when first read from
+	// disk); v1 tables without checksums are unaffected.
+	VerifyChecksums bool
+	// DisableScrub turns off the background integrity scrubber.
+	DisableScrub bool
+	// ScrubInterval is the pause between scrub cycles (a cycle verifies every
+	// block of every live SSTable). Defaults to 5s; short-lived stores never
+	// start a cycle.
+	ScrubInterval time.Duration
+	// ScrubBlockPace is the pause between individual block verifications —
+	// the knob that keeps the scrubber low-priority: with the 4 KiB target
+	// block size, the default 1ms pace caps scrub I/O at ~4 MiB/s per store.
+	// A negative value disables pacing (full-speed scrub, for tests).
+	ScrubBlockPace time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +114,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxConcurrentCompactions <= 0 {
 		o.MaxConcurrentCompactions = 2
+	}
+	if o.ScrubInterval <= 0 {
+		o.ScrubInterval = 5 * time.Second
+	}
+	if o.ScrubBlockPace < 0 {
+		o.ScrubBlockPace = 0
+	} else if o.ScrubBlockPace == 0 {
+		o.ScrubBlockPace = time.Millisecond
 	}
 	return o
 }

@@ -63,6 +63,9 @@ type Store struct {
 	flushMu  sync.Mutex // serializes flushes
 	flushing atomic.Bool
 	bg       sync.WaitGroup
+	// closeCh is closed by Close before waiting on bg, so paced background
+	// loops (the scrubber) wake from their sleeps and exit promptly.
+	closeCh chan struct{}
 
 	// Compaction scheduling state: claimed (busy) tables, the number of
 	// rounds in flight and of live workers, and the most recent background
@@ -100,6 +103,9 @@ type Store struct {
 	// Compaction counters, resolved at Open alongside the histograms.
 	compRounds, compErrors, compGCCells, compTombstones *metrics.Counter
 	compBytesRead, compBytesWritten, flushBytesC        *metrics.Counter
+
+	// Background-scrubber progress; see scrub.go.
+	scrub scrubState
 }
 
 // recordStage records d into h when stage metrics are enabled.
@@ -119,6 +125,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	s := &Store{opts: opts, mem: memtable.New(), compBusy: make(map[*tableHandle]struct{})}
 	s.compCond = sync.NewCond(&s.compMu)
+	s.closeCh = make(chan struct{})
 
 	// Open existing SSTables, newest (highest file number) first.
 	names, err := opts.FS.List(opts.Dir + "/")
@@ -133,7 +140,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] > nums[j] })
 	for _, n := range nums {
-		r, err := sstable.Open(opts.FS, tableName(opts.Dir, n), opts.BlockCache)
+		r, err := s.openTable(tableName(opts.Dir, n))
 		if err != nil {
 			return nil, err
 		}
@@ -179,8 +186,27 @@ func Open(opts Options) (*Store, error) {
 		s.compGCCells = reg.Counter("diffindex_compaction_gc_cells_total", table)
 		s.compTombstones = reg.Counter("diffindex_compaction_tombstones_dropped_total", table)
 		s.flushBytesC = reg.Counter("diffindex_flush_bytes_total", table)
+		s.scrub.blocksC = reg.Counter("diffindex_scrub_blocks_total", table)
+		s.scrub.bytesC = reg.Counter("diffindex_scrub_bytes_total", table)
+		s.scrub.corruptionsC = reg.Counter("diffindex_scrub_corruptions_total", table)
+		s.scrub.cyclesC = reg.Counter("diffindex_scrub_cycles_total", table)
+	}
+	if !opts.DisableScrub {
+		s.bg.Add(1)
+		go s.scrubLoop()
 	}
 	return s, nil
+}
+
+// openTable opens a finished table file, applying the store's verify-on-read
+// knob to the new reader before it serves any read.
+func (s *Store) openTable(name string) (*sstable.Reader, error) {
+	r, err := sstable.Open(s.opts.FS, name, s.opts.BlockCache)
+	if err != nil {
+		return nil, err
+	}
+	r.SetVerifyChecksums(s.opts.VerifyChecksums)
+	return r, nil
 }
 
 func tableName(dir string, n uint64) string {
@@ -399,7 +425,7 @@ func (s *Store) Flush() error {
 		s.opts.FS.Remove(name)
 		return err
 	}
-	r, err := sstable.Open(s.opts.FS, name, s.opts.BlockCache)
+	r, err := s.openTable(name)
 	if err != nil {
 		return err
 	}
@@ -640,6 +666,7 @@ func (s *Store) Close() error {
 	s.tables = nil
 	s.mu.Unlock()
 
+	close(s.closeCh) // wake the scrubber out of its paced sleeps
 	s.bg.Wait()
 	for _, h := range tables {
 		h.release() // drop the store's own reference

@@ -80,6 +80,19 @@ func TestMetricsSnapshotStableJSONGolden(t *testing.T) {
 	st := r.Histogram("diffindex_stage_latency_ns", L("stage", "wal"), L("table", "items"))
 	st.Record(2048)
 	st.Record(4096)
+	// The integrity surface: scrub and anti-entropy counters, exactly as the
+	// scrubber and VerifyIndexes emit them.
+	r.Counter("diffindex_scrub_blocks_total", L("table", "items")).Add(128)
+	r.Counter("diffindex_scrub_bytes_total", L("table", "items")).Add(524288)
+	r.Counter("diffindex_scrub_corruptions_total", L("table", "items")).Add(1)
+	r.Counter("diffindex_scrub_cycles_total", L("table", "items")).Add(2)
+	r.Counter("diffindex_antientropy_sweeps_total", L("table", "items")).Add(3)
+	r.Counter("diffindex_antientropy_buckets_total", L("result", "clean")).Add(190)
+	r.Counter("diffindex_antientropy_buckets_total", L("result", "divergent")).Add(2)
+	r.Counter("diffindex_antientropy_violations_total", L("kind", "missing")).Add(1)
+	r.Counter("diffindex_antientropy_violations_total", L("kind", "stale")).Add(1)
+	r.Counter("diffindex_antientropy_repairs_total", L("kind", "missing")).Add(1)
+	r.Counter("diffindex_antientropy_repairs_total", L("kind", "stale")).Add(1)
 
 	got, err := r.Snapshot().MarshalStableJSON()
 	if err != nil {

@@ -10,12 +10,19 @@
 // index, and read a single data block through the VFS — which is where the
 // simulated disk latency is charged, making LSM reads pay random-I/O cost
 // while writes remain sequential (§2.1's asymmetry).
+//
+// Format v2 appends a checksum section between the index block and the
+// footer: one CRC32C (Castagnoli) per data block plus CRCs of the filter and
+// index blocks, self-protected by a trailing section CRC. Readers verify
+// blocks against it on read (behind a knob) and during scrubbing; v1 tables
+// (56-byte footer, no checksums) remain readable.
 package sstable
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // TargetBlockSize is the uncompressed size at which a data block is cut.
@@ -23,14 +30,27 @@ import (
 const TargetBlockSize = 4 * 1024
 
 const (
-	footerLen = 56
-	magic     = 0xD1FF1DE0CAFEB10C
+	footerLenV1 = 56
+	footerLenV2 = 72
+	magicV1     = 0xD1FF1DE0CAFEB10C
+	magicV2     = 0xD1FF1DE0CAFEB10D
 )
 
 var (
 	// ErrBadTable is returned when a table file fails structural checks.
 	ErrBadTable = errors.New("sstable: malformed table")
+	// ErrCorruption is returned when a block's content does not match its
+	// recorded CRC32C — a silent data corruption, distinct from a structural
+	// decode failure (ErrBadTable) or an I/O error.
+	ErrCorruption = errors.New("sstable: checksum mismatch")
 )
+
+// castagnoli is the CRC32C polynomial table shared by writer, reader and
+// scrubber.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockCRC computes the CRC32C of one block's raw bytes.
+func blockCRC(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
 type footer struct {
 	filterOff, filterLen uint64
@@ -40,27 +60,60 @@ type footer struct {
 	// the compaction layer see per-table garbage pressure without reading
 	// data blocks.
 	tombstoneCount uint64
+	// checksumOff/checksumLen locate the checksum section (v2 only; zero in
+	// tables read from the v1 footer).
+	checksumOff, checksumLen uint64
 }
 
+// marshal emits the v2 (72-byte) footer.
 func (f footer) marshal() []byte {
-	out := make([]byte, footerLen)
+	out := make([]byte, footerLenV2)
 	binary.LittleEndian.PutUint64(out[0:], f.filterOff)
 	binary.LittleEndian.PutUint64(out[8:], f.filterLen)
 	binary.LittleEndian.PutUint64(out[16:], f.indexOff)
 	binary.LittleEndian.PutUint64(out[24:], f.indexLen)
 	binary.LittleEndian.PutUint64(out[32:], f.entryCount)
 	binary.LittleEndian.PutUint64(out[40:], f.tombstoneCount)
-	binary.LittleEndian.PutUint64(out[48:], magic)
+	binary.LittleEndian.PutUint64(out[48:], f.checksumOff)
+	binary.LittleEndian.PutUint64(out[56:], f.checksumLen)
+	binary.LittleEndian.PutUint64(out[64:], magicV2)
 	return out
 }
 
-func unmarshalFooter(b []byte) (footer, error) {
-	var f footer
-	if len(b) != footerLen {
-		return f, fmt.Errorf("%w: footer length %d", ErrBadTable, len(b))
+// marshalV1 emits the legacy 56-byte footer (kept for backward-compat tests).
+func (f footer) marshalV1() []byte {
+	out := make([]byte, footerLenV1)
+	binary.LittleEndian.PutUint64(out[0:], f.filterOff)
+	binary.LittleEndian.PutUint64(out[8:], f.filterLen)
+	binary.LittleEndian.PutUint64(out[16:], f.indexOff)
+	binary.LittleEndian.PutUint64(out[24:], f.indexLen)
+	binary.LittleEndian.PutUint64(out[32:], f.entryCount)
+	binary.LittleEndian.PutUint64(out[40:], f.tombstoneCount)
+	binary.LittleEndian.PutUint64(out[48:], magicV1)
+	return out
+}
+
+// unmarshalFooter decodes a footer from the tail of the file. b holds the
+// last min(fileSize, footerLenV2) bytes; the magic in the final 8 bytes
+// selects the version. hasChecksums reports whether the table carries a
+// checksum section (format v2).
+func unmarshalFooter(b []byte) (f footer, hasChecksums bool, err error) {
+	if len(b) < footerLenV1 {
+		return f, false, fmt.Errorf("%w: footer length %d", ErrBadTable, len(b))
 	}
-	if binary.LittleEndian.Uint64(b[48:]) != magic {
-		return f, fmt.Errorf("%w: bad magic", ErrBadTable)
+	switch binary.LittleEndian.Uint64(b[len(b)-8:]) {
+	case magicV2:
+		if len(b) < footerLenV2 {
+			return f, false, fmt.Errorf("%w: v2 footer length %d", ErrBadTable, len(b))
+		}
+		b = b[len(b)-footerLenV2:]
+		f.checksumOff = binary.LittleEndian.Uint64(b[48:])
+		f.checksumLen = binary.LittleEndian.Uint64(b[56:])
+		hasChecksums = true
+	case magicV1:
+		b = b[len(b)-footerLenV1:]
+	default:
+		return f, false, fmt.Errorf("%w: bad magic", ErrBadTable)
 	}
 	f.filterOff = binary.LittleEndian.Uint64(b[0:])
 	f.filterLen = binary.LittleEndian.Uint64(b[8:])
@@ -68,7 +121,47 @@ func unmarshalFooter(b []byte) (footer, error) {
 	f.indexLen = binary.LittleEndian.Uint64(b[24:])
 	f.entryCount = binary.LittleEndian.Uint64(b[32:])
 	f.tombstoneCount = binary.LittleEndian.Uint64(b[40:])
-	return f, nil
+	return f, hasChecksums, nil
+}
+
+// checksumSet holds a table's recorded CRCs: one per data block, plus the
+// filter and index blocks. The marshaled section is self-protected by a
+// trailing CRC of its own bytes, so a corrupted section is rejected at Open
+// rather than silently mis-verifying data blocks.
+type checksumSet struct {
+	blocks []uint32
+	filter uint32
+	index  uint32
+}
+
+func (c checksumSet) marshal() []byte {
+	out := binary.AppendUvarint(nil, uint64(len(c.blocks)))
+	for _, crc := range c.blocks {
+		out = binary.LittleEndian.AppendUint32(out, crc)
+	}
+	out = binary.LittleEndian.AppendUint32(out, c.filter)
+	out = binary.LittleEndian.AppendUint32(out, c.index)
+	return binary.LittleEndian.AppendUint32(out, blockCRC(out))
+}
+
+func unmarshalChecksums(b []byte) (checksumSet, error) {
+	var c checksumSet
+	if len(b) < 4 || blockCRC(b[:len(b)-4]) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return c, fmt.Errorf("%w: checksum section", ErrCorruption)
+	}
+	b = b[:len(b)-4]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b[sz:])) != 4*(n+2) {
+		return c, fmt.Errorf("%w: checksum count", ErrBadTable)
+	}
+	b = b[sz:]
+	c.blocks = make([]uint32, n)
+	for i := range c.blocks {
+		c.blocks[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	c.filter = binary.LittleEndian.Uint32(b[4*n:])
+	c.index = binary.LittleEndian.Uint32(b[4*n+4:])
+	return c, nil
 }
 
 // blockHandle locates one data block within the file.

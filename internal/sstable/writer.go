@@ -27,6 +27,11 @@ type Writer struct {
 	count             uint64
 	tombstones        uint64
 	finished          bool
+
+	crcs checksumSet
+	// legacy makes Finish emit the v1 format (no checksum section, 56-byte
+	// footer). Only backward-compat tests set it.
+	legacy bool
 }
 
 // NewWriter creates the named table file and returns a writer for it.
@@ -78,6 +83,7 @@ func (w *Writer) cutBlock() error {
 	if err != nil {
 		return fmt.Errorf("sstable: write block: %w", err)
 	}
+	w.crcs.blocks = append(w.crcs.blocks, blockCRC(w.block))
 	w.index = append(w.index, indexEntry{
 		lastKey: append([]byte(nil), w.lastKey...),
 		handle:  blockHandle{offset: w.blockOff, length: uint64(n)},
@@ -118,7 +124,20 @@ func (w *Writer) Finish() error {
 	}
 	w.blockOff += uint64(len(idx))
 
-	if _, err := w.f.Write(ftr.marshal()); err != nil {
+	ftrBytes := ftr.marshalV1()
+	if !w.legacy {
+		w.crcs.filter = blockCRC(filter)
+		w.crcs.index = blockCRC(idx)
+		sums := w.crcs.marshal()
+		ftr.checksumOff = w.blockOff
+		ftr.checksumLen = uint64(len(sums))
+		if _, err := w.f.Write(sums); err != nil {
+			return fmt.Errorf("sstable: write checksums: %w", err)
+		}
+		w.blockOff += uint64(len(sums))
+		ftrBytes = ftr.marshal()
+	}
+	if _, err := w.f.Write(ftrBytes); err != nil {
 		return fmt.Errorf("sstable: write footer: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {

@@ -33,6 +33,11 @@ type FaultConfig struct {
 	SyncErrProb float64
 	// ReadErrProb fails a ReadAt.
 	ReadErrProb float64
+	// ReadCorruptProb silently flips one bit of a ReadAt result — the read
+	// "succeeds" but returns wrong bytes, modelling at-rest bit rot and
+	// firmware misreads that no error path reports. Only checksum
+	// verification above the VFS can catch it.
+	ReadCorruptProb float64
 	// SpikeProb injects SpikeLatency of extra delay before an operation — a
 	// disk stall rather than an error.
 	SpikeProb float64
@@ -45,7 +50,7 @@ type FaultConfig struct {
 
 func (c FaultConfig) enabled() bool {
 	return c.WriteErrProb > 0 || c.PartialWriteProb > 0 || c.SyncErrProb > 0 ||
-		c.ReadErrProb > 0 || c.SpikeProb > 0
+		c.ReadErrProb > 0 || c.ReadCorruptProb > 0 || c.SpikeProb > 0
 }
 
 // FaultStats counts injected faults by kind. Counters are cumulative across
@@ -55,6 +60,7 @@ type FaultStats struct {
 	PartialWrites atomic.Int64
 	SyncErrs      atomic.Int64
 	ReadErrs      atomic.Int64
+	Corruptions   atomic.Int64
 	Spikes        atomic.Int64
 }
 
@@ -62,7 +68,7 @@ type FaultStats struct {
 // included: a stall is a fault even though the operation succeeds).
 func (s *FaultStats) Total() int64 {
 	return s.WriteErrs.Load() + s.PartialWrites.Load() + s.SyncErrs.Load() +
-		s.ReadErrs.Load() + s.Spikes.Load()
+		s.ReadErrs.Load() + s.Corruptions.Load() + s.Spikes.Load()
 }
 
 // FaultFS wraps an FS and injects failed/partial writes, fsync errors, read
@@ -114,9 +120,11 @@ func (fs *FaultFS) Armed() bool { return fs.armed.Load() }
 
 // decision is one sampled fault outcome for an operation.
 type decision struct {
-	fail    bool
-	partial float64 // fraction of the buffer to write before failing
-	spike   time.Duration
+	fail        bool
+	partial     float64 // fraction of the buffer to write before failing
+	corrupt     bool    // silently flip one bit of a successful read
+	corruptFrac float64 // position of the flipped bit, as a fraction of the buffer
+	spike       time.Duration
 }
 
 // op selects which fault probabilities apply to an operation.
@@ -158,6 +166,11 @@ func (fs *FaultFS) decide(name string, kind op) decision {
 	if partialProb > 0 && fs.rng.Float64() < partialProb {
 		d.fail = true
 		d.partial = fs.rng.Float64()
+		return d
+	}
+	if kind == opRead && fs.cfg.ReadCorruptProb > 0 && fs.rng.Float64() < fs.cfg.ReadCorruptProb {
+		d.corrupt = true
+		d.corruptFrac = fs.rng.Float64()
 	}
 	return d
 }
@@ -235,7 +248,19 @@ func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
 		f.fs.Stats.ReadErrs.Add(1)
 		return 0, fmt.Errorf("%w: read on %s@%d", ErrInjected, f.name, off)
 	}
-	return f.inner.ReadAt(p, off)
+	n, err := f.inner.ReadAt(p, off)
+	if d.corrupt && err == nil && n > 0 {
+		// Silent corruption: the read reports success but one bit is wrong.
+		// Only the buffer is altered — the file itself stays intact, like a
+		// transient misread; a re-read may return clean bytes.
+		bit := int(d.corruptFrac * float64(n*8))
+		if bit >= n*8 {
+			bit = n*8 - 1
+		}
+		p[bit/8] ^= 1 << (bit % 8)
+		f.fs.Stats.Corruptions.Add(1)
+	}
+	return n, err
 }
 
 func (f *faultFile) Sync() error {

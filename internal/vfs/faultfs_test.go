@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 	"testing"
@@ -131,5 +132,59 @@ func TestFaultFSDeterministicDecisions(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("decision %d differs across runs with the same seed", i)
 		}
+	}
+}
+
+func TestFaultFSSilentReadCorruption(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("d/f")
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	f.Write(orig)
+	fs.Arm(FaultConfig{Seed: 7, ReadCorruptProb: 1})
+	buf := make([]byte, len(orig))
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || n != len(orig) {
+		t.Fatalf("corrupted read must still report success: n=%d err=%v", n, err)
+	}
+	if bytes.Equal(buf, orig) {
+		t.Fatal("buffer unchanged: no bit was flipped")
+	}
+	// Exactly one bit differs.
+	diffBits := 0
+	for i := range buf {
+		for b := buf[i] ^ orig[i]; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flipped %d bits, want 1", diffBits)
+	}
+	if got := fs.Stats.Corruptions.Load(); got != 1 {
+		t.Fatalf("Corruptions = %d, want 1", got)
+	}
+	if fs.Stats.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", fs.Stats.Total())
+	}
+
+	// The file itself is intact: a clean re-read after disarm matches.
+	fs.Disarm()
+	clean := make([]byte, len(orig))
+	if _, err := f.ReadAt(clean, 0); err != nil || !bytes.Equal(clean, orig) {
+		t.Fatalf("post-disarm read: err=%v equal=%v", err, bytes.Equal(clean, orig))
+	}
+}
+
+func TestFaultFSCorruptionRespectsPathFilter(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	f, _ := fs.Create("tables/t/r1/wal/000001.wal")
+	orig := []byte("wal record bytes")
+	f.Write(orig)
+	fs.Arm(FaultConfig{Seed: 2, ReadCorruptProb: 1, PathSubstr: ".sst"})
+	buf := make([]byte, len(orig))
+	if _, err := f.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, orig) {
+		t.Fatalf("filtered path corrupted: err=%v equal=%v", err, bytes.Equal(buf, orig))
+	}
+	if fs.Stats.Corruptions.Load() != 0 {
+		t.Fatal("corruption counted despite path filter")
 	}
 }

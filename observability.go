@@ -33,6 +33,116 @@ func (db *DB) SlowOps() []metrics.SlowOp {
 	return db.c.Tracer().SlowOps()
 }
 
+// Health status levels, ordered by severity.
+const (
+	// HealthOK: no corruption, no failing background work.
+	HealthOK = "ok"
+	// HealthDegraded: the store serves requests but something needs operator
+	// attention (failing compactions, crashed servers, a backed-up AUQ, or
+	// index violations found that could not be repaired).
+	HealthDegraded = "degraded"
+	// HealthUnhealthy: data integrity is in question (checksum corruption
+	// detected) or no server is live.
+	HealthUnhealthy = "unhealthy"
+)
+
+// healthAUQDepthThreshold is the queued-async-update depth beyond which the
+// DB reports degraded: the default AUQ capacity is 4096 per region, so a
+// cluster-wide backlog past this level means async indexes are far behind.
+const healthAUQDepthThreshold = 4096
+
+// Health is an aggregate health view of the DB, computed from the metrics
+// registry plus live cluster state. Status is HealthOK, HealthDegraded or
+// HealthUnhealthy; Reasons explains every non-ok contribution.
+type Health struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+
+	// Integrity scrubbing (cluster-wide sums over every region store).
+	ScrubCorruptions int64 `json:"scrub_corruptions"`
+	ScrubBlocksTotal int64 `json:"scrub_blocks_total"`
+	ScrubBytesTotal  int64 `json:"scrub_bytes_total"`
+	ScrubCyclesTotal int64 `json:"scrub_cycles_total"`
+
+	// Background maintenance.
+	CompactionErrors int64 `json:"compaction_errors"`
+
+	// Asynchronous index pipeline.
+	PendingIndexUpdates int64 `json:"pending_index_updates"`
+
+	// Anti-entropy verification: confirmed violations found vs repaired,
+	// cumulative. Outstanding = found − repaired.
+	IndexViolationsFound    int64 `json:"index_violations_found"`
+	IndexViolationsRepaired int64 `json:"index_violations_repaired"`
+
+	// Topology.
+	LiveServers  int `json:"live_servers"`
+	TotalServers int `json:"total_servers"`
+}
+
+// sumCounters totals every counter with the given name across label sets.
+func sumCounters(points []metrics.MetricPoint, name string) int64 {
+	var total int64
+	for _, p := range points {
+		if p.Name == name {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+// Health computes the DB's aggregate health from the same registry the
+// metrics endpoints serve, so /healthz always agrees with /metrics. The
+// status rules: checksum corruption anywhere (or zero live servers) is
+// unhealthy; failing compactions, crashed servers, an AUQ backlog past the
+// threshold, or unrepaired index violations are degraded; otherwise ok.
+func (db *DB) Health() Health {
+	snap := db.c.Metrics().Snapshot()
+	h := Health{
+		ScrubCorruptions:        sumCounters(snap.Counters, "diffindex_scrub_corruptions_total"),
+		ScrubBlocksTotal:        sumCounters(snap.Counters, "diffindex_scrub_blocks_total"),
+		ScrubBytesTotal:         sumCounters(snap.Counters, "diffindex_scrub_bytes_total"),
+		ScrubCyclesTotal:        sumCounters(snap.Counters, "diffindex_scrub_cycles_total"),
+		CompactionErrors:        sumCounters(snap.Counters, "diffindex_compaction_errors_total"),
+		PendingIndexUpdates:     db.m.QueueDepth(),
+		IndexViolationsFound:    sumCounters(snap.Counters, "diffindex_antientropy_violations_total"),
+		IndexViolationsRepaired: sumCounters(snap.Counters, "diffindex_antientropy_repairs_total"),
+		LiveServers:             len(db.c.LiveServerIDs()),
+		TotalServers:            len(db.c.ServerIDs()),
+	}
+
+	h.Status = HealthOK
+	degrade := func(reason string) {
+		if h.Status == HealthOK {
+			h.Status = HealthDegraded
+		}
+		h.Reasons = append(h.Reasons, reason)
+	}
+	fail := func(reason string) {
+		h.Status = HealthUnhealthy
+		h.Reasons = append(h.Reasons, reason)
+	}
+	if h.ScrubCorruptions > 0 {
+		fail(fmt.Sprintf("scrubber detected %d corrupted blocks", h.ScrubCorruptions))
+	}
+	if h.LiveServers == 0 {
+		fail("no live region servers")
+	}
+	if h.CompactionErrors > 0 {
+		degrade(fmt.Sprintf("%d background compaction rounds failed", h.CompactionErrors))
+	}
+	if h.LiveServers < h.TotalServers {
+		degrade(fmt.Sprintf("%d of %d region servers down", h.TotalServers-h.LiveServers, h.TotalServers))
+	}
+	if h.PendingIndexUpdates > healthAUQDepthThreshold {
+		degrade(fmt.Sprintf("async index backlog %d exceeds %d", h.PendingIndexUpdates, healthAUQDepthThreshold))
+	}
+	if out := h.IndexViolationsFound - h.IndexViolationsRepaired; out > 0 {
+		degrade(fmt.Sprintf("%d index violations found but not repaired", out))
+	}
+	return h
+}
+
 // metricsDump is the envelope StartMetricsDump writes: one JSON object per
 // line, timestamped so dumps can be correlated with experiment phases.
 type metricsDump struct {
@@ -74,6 +184,7 @@ func (db *DB) StartMetricsDump(w io.Writer, interval time.Duration) (stop func()
 //
 //	/         the full registry snapshot (stable JSON: sorted keys)
 //	/slowops  the slow-op log with per-stage breakdowns
+//	/healthz  the aggregate Health view (HTTP 503 when unhealthy)
 //
 // Mount it wherever convenient, or use StartMetricsHTTP for a ready server.
 func (db *DB) MetricsHandler() http.Handler {
@@ -89,6 +200,19 @@ func (db *DB) MetricsHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(buf)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := db.Health()
+		buf, err := json.MarshalIndent(h, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if h.Status == HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		w.Write(buf)
 	})
 	mux.HandleFunc("/slowops", func(w http.ResponseWriter, r *http.Request) {
