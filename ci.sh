@@ -27,7 +27,13 @@
 #      network faults must uphold every invariant (DESIGN.md §9); a second
 #      short run arms incremental compaction (-compact-threshold 2) so
 #      tiered merges and the piggybacked cleanse run under faults too
-#  10. integrity         — the scrub/anti-entropy surface (DESIGN.md §11):
+#  10. learned index     — the learned block index (DESIGN.md §12): format
+#      compat matrix (v1/v2/v3), model training/marshal properties, the
+#      model-vs-binary equivalence corpus and concurrent model readers
+#      under -race; `lsmtool stats` must report a trained model on a
+#      knob-on store; and a one-iteration BenchmarkLearnedGet smoke runs
+#      the model and fallback paths against the same tables
+#  11. integrity         — the scrub/anti-entropy surface (DESIGN.md §11):
 #      scrubber + anti-entropy tests under -race; `lsmtool verify` must
 #      pass clean and exit non-zero on an injected corruption; the chaos
 #      integrity pair (scrubber detects misreads, sweep repairs injected
@@ -76,6 +82,21 @@ go run ./cmd/chaoskit -seed 1 -scenarios 4 -duration 400ms -trace=false
 # arm another bounded merge round, so tombstone handling and the
 # compaction-piggybacked index cleanse run under the same fault schedule.
 go run ./cmd/chaoskit -seed 2 -scenarios 2 -duration 300ms -trace=false -compact-threshold 2
+
+echo "== learned index (model + format compat, DESIGN.md §12) =="
+# Race pass over the learned-index surface: training/marshal properties, the
+# v1/v2/v3 footer compat matrix, zero-divergence equivalence corpus, restart
+# search, gap rejection and hammering one model-backed reader concurrently.
+go test -race -count=1 -run 'Learned|Model|FooterCompat|Restart|GapRejection|Info' ./internal/sstable ./internal/lsm
+# Operator surface: a knob-on store must produce v3 tables with a trained
+# model, and `lsmtool stats` must say so.
+if ! go run ./cmd/lsmtool stats -rows 1000 -tables 2 -learned | grep -q 'segments'; then
+    echo "lsmtool stats reported no trained model on a -learned store" >&2
+    exit 1
+fi
+# Bench smoke: one iteration of the model and fallback paths on the same
+# tables (the full comparison lives in bench_output_learned.txt).
+go test -run=NONE -bench=BenchmarkLearned -benchtime=1x ./internal/sstable
 
 echo "== integrity (scrub + anti-entropy + health, DESIGN.md §11) =="
 # Race pass over the integrity subsystem: the background scrubber, checksum

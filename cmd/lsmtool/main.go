@@ -9,6 +9,7 @@
 //
 //	lsmtool [-rows 2000] [-versions 3] [-stats]
 //	lsmtool verify [-rows 2000] [-tables 4] [-corrupt 0]
+//	lsmtool stats [-rows 2000] [-tables 4] [-learned] [-epsilon 8]
 //
 // -stats attaches a metrics registry to the store and, after the
 // walkthrough, dumps every instrument (WAL append counters, per-stage
@@ -21,6 +22,12 @@
 // runs continuously inside a live region. -corrupt N flips one byte in N of
 // the files first, demonstrating detection; the process exits non-zero if
 // any corruption is found, so the command doubles as a CI gate.
+//
+// The stats subcommand inspects physical table layout: it flushes -tables
+// SSTables (with -learned, each also trains a learned block model at error
+// bound -epsilon) and prints every table's format version, block/entry
+// counts, restart points, and model summary (segments, ε, marshaled bytes)
+// — the on-disk picture behind DESIGN.md §12.
 package main
 
 import (
@@ -39,6 +46,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
 		verifyMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		statsMain(os.Args[2:])
 		return
 	}
 	rows := flag.Int("rows", 2000, "rows to write per stage")
@@ -283,5 +294,71 @@ func verifyMain(args []string) {
 		len(ssts), totalBlocks, totalBytes, totalCorrupt)
 	if totalCorrupt > 0 {
 		os.Exit(1)
+	}
+}
+
+// statsMain implements `lsmtool stats`: flush -tables SSTables (model-backed
+// when -learned is set), then re-open each one cold and print its physical
+// layout — format version, blocks, entries, restart points, and the learned
+// model's segment count / error bound / marshaled size.
+func statsMain(args []string) {
+	fl := flag.NewFlagSet("stats", flag.ExitOnError)
+	rows := fl.Int("rows", 2000, "rows to write per flushed table")
+	tables := fl.Int("tables", 4, "SSTables to flush before inspecting")
+	learned := fl.Bool("learned", false, "train a learned block model on each table")
+	epsilon := fl.Int("epsilon", 0, "model error bound in blocks (0 = default)")
+	fl.Parse(args)
+
+	fs := vfs.NewMemFS()
+	store, err := lsm.Open(lsm.Options{
+		FS:                  fs,
+		Dir:                 "demo",
+		DisableAutoFlush:    true,
+		DisableAutoCompact:  true,
+		DisableScrub:        true,
+		LearnedIndex:        *learned,
+		LearnedIndexEpsilon: *epsilon,
+	})
+	if err != nil {
+		panic(err)
+	}
+	clock := kv.NewClock(1)
+	for g := 0; g < *tables; g++ {
+		for i := 0; i < *rows; i++ {
+			key := []byte(fmt.Sprintf("row%08d", g**rows+i))
+			val := []byte(fmt.Sprintf("value-g%d-%d", g, i))
+			if err := store.Put(key, val, clock.Next()); err != nil {
+				panic(err)
+			}
+		}
+		if err := store.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		panic(err)
+	}
+
+	names, _ := fs.List("demo/")
+	fmt.Printf("%-36s %3s %7s %8s %9s %s\n",
+		"table", "ver", "blocks", "entries", "restarts", "model")
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		r, err := sstable.Open(fs, name, nil)
+		if err != nil {
+			fmt.Printf("%-36s UNREADABLE: %v\n", name, err)
+			continue
+		}
+		info := r.Info()
+		model := "none (binary search)"
+		if info.ModelSegments > 0 {
+			model = fmt.Sprintf("%d segments, eps=%d, %dB",
+				info.ModelSegments, info.ModelEpsilon, info.ModelBytes)
+		}
+		fmt.Printf("%-36s  v%d %7d %8d %9d %s\n",
+			name, info.FormatVersion, info.Blocks, info.Entries, info.Restarts, model)
+		r.Close()
 	}
 }

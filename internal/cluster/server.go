@@ -99,6 +99,9 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 		RetainTombstones:         s.cluster.retainsTombstones(info.Table),
 		BlockCache:               cache,
 		VerifyChecksums:          s.cluster.cfg.VerifyChecksums,
+		LearnedIndex:             s.cluster.cfg.LearnedIndex,
+		LearnedIndexEpsilon:      s.cluster.cfg.LearnedIndexEpsilon,
+		BlockRestartInterval:     s.cluster.cfg.BlockRestartInterval,
 		DisableScrub:             s.cluster.cfg.DisableScrub,
 		ScrubInterval:            s.cluster.cfg.ScrubInterval,
 		ScrubBlockPace:           s.cluster.cfg.ScrubBlockPace,

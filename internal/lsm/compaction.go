@@ -384,7 +384,7 @@ func (s *Store) compactRound(inputs []*tableHandle, bottom bool) error {
 	}
 
 	name := tableName(s.opts.Dir, outNum)
-	w, err := sstable.NewWriter(s.opts.FS, name)
+	w, err := sstable.NewWriterWith(s.opts.FS, name, s.writerOptions())
 	if err != nil {
 		return err
 	}
@@ -464,6 +464,7 @@ func (s *Store) compactRound(inputs []*tableHandle, bottom bool) error {
 		s.opts.FS.Remove(name)
 		return err
 	}
+	s.noteModelTrained(w)
 	r, err := s.openTable(name)
 	if err != nil {
 		return err

@@ -86,6 +86,23 @@ type Options struct {
 	// Cache hits are not re-verified (they were checked when first read from
 	// disk); v1 tables without checksums are unaffected.
 	VerifyChecksums bool
+	// LearnedIndex trains a bounded-error piecewise-linear block model on
+	// every SSTable this store writes (flushes and compactions) and serves
+	// point lookups through it: the model predicts a block, a ±ε window is
+	// verified against the exact index, and any miss falls back to the full
+	// binary search — model-backed reads always return exactly what binary
+	// search would (DESIGN.md §12). Already-written tables keep whatever
+	// format they have; v1/v2 tables read via binary search.
+	LearnedIndex bool
+	// LearnedIndexEpsilon is the model's training error bound in blocks
+	// (defaults to sstable.DefaultModelEpsilon = 8). Smaller ε means more
+	// segments and narrower read windows.
+	LearnedIndexEpsilon int
+	// BlockRestartInterval is the entry spacing of in-block restart points
+	// on newly written tables (defaults to sstable.DefaultRestartInterval =
+	// 16): the in-block entry scan binary-searches restarts and walks at
+	// most this many entries.
+	BlockRestartInterval int
 	// DisableScrub turns off the background integrity scrubber.
 	DisableScrub bool
 	// ScrubInterval is the pause between scrub cycles (a cycle verifies every
@@ -117,6 +134,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScrubInterval <= 0 {
 		o.ScrubInterval = 5 * time.Second
+	}
+	if o.LearnedIndexEpsilon <= 0 {
+		o.LearnedIndexEpsilon = sstable.DefaultModelEpsilon
+	}
+	if o.BlockRestartInterval <= 0 {
+		o.BlockRestartInterval = sstable.DefaultRestartInterval
 	}
 	if o.ScrubBlockPace < 0 {
 		o.ScrubBlockPace = 0

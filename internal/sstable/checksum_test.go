@@ -144,8 +144,9 @@ func TestChecksumMetadataCorruptionRejectedAtOpen(t *testing.T) {
 		name    string
 		fromEnd int64 // byte offset measured back from end of file
 	}{
-		{"checksum-section", footerLenV2 + 2},
-		{"index-block", footerLenV2 + 64},
+		{"checksum-section", footerLenV3 + 2},
+		{"index-block", footerLenV3 + 64},
+		{"footer", 12},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			fs := vfs.NewMemFS()
@@ -163,11 +164,10 @@ func TestChecksumMetadataCorruptionRejectedAtOpen(t *testing.T) {
 
 func TestLegacyV1TableStillReadable(t *testing.T) {
 	fs := vfs.NewMemFS()
-	w, err := NewWriter(fs, "v1.sst")
+	w, err := NewWriterWith(fs, "v1.sst", WriterOptions{FormatVersion: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.legacy = true
 	for i := 0; i < 500; i++ {
 		ik := kv.InternalKey([]byte(fmt.Sprintf("user%06d", i)), 1, kv.KindPut)
 		if err := w.Add(ik, []byte(fmt.Sprintf("value-%d", i))); err != nil {

@@ -16,6 +16,17 @@
 // index blocks, self-protected by a trailing section CRC. Readers verify
 // blocks against it on read (behind a knob) and during scrubbing; v1 tables
 // (56-byte footer, no checksums) remain readable.
+//
+// Format v3 (DESIGN.md §12) teaches the table two in-table lookup
+// accelerators. The index block gains, per data block, the block's first
+// internal key (zero-I/O gap rejection: a point get whose key falls between
+// two blocks never reads either) and the offsets of every K-th entry
+// (restart points: the in-block entry scan becomes a binary search over
+// restarts plus a ≤K-entry tail). A model section between the checksum
+// section and the (88-byte) footer optionally carries a bounded-error
+// piecewise-linear model mapping key prefixes to block ordinals — see
+// model.go. v1/v2 tables keep opening; every accelerator degrades to the
+// v2 behaviour when its data is absent.
 package sstable
 
 import (
@@ -32,8 +43,13 @@ const TargetBlockSize = 4 * 1024
 const (
 	footerLenV1 = 56
 	footerLenV2 = 72
+	footerLenV3 = 88
 	magicV1     = 0xD1FF1DE0CAFEB10C
 	magicV2     = 0xD1FF1DE0CAFEB10D
+	magicV3     = 0xD1FF1DE0CAFEB10E
+
+	// FormatLatest is the version NewWriter emits by default.
+	FormatLatest = 3
 )
 
 var (
@@ -60,13 +76,33 @@ type footer struct {
 	// the compaction layer see per-table garbage pressure without reading
 	// data blocks.
 	tombstoneCount uint64
-	// checksumOff/checksumLen locate the checksum section (v2 only; zero in
+	// checksumOff/checksumLen locate the checksum section (v2+; zero in
 	// tables read from the v1 footer).
 	checksumOff, checksumLen uint64
+	// modelOff/modelLen locate the learned-model section (v3 only; a zero
+	// length means the table was written with the model knob off).
+	modelOff, modelLen uint64
 }
 
-// marshal emits the v2 (72-byte) footer.
+// marshal emits the v3 (88-byte) footer.
 func (f footer) marshal() []byte {
+	out := make([]byte, footerLenV3)
+	binary.LittleEndian.PutUint64(out[0:], f.filterOff)
+	binary.LittleEndian.PutUint64(out[8:], f.filterLen)
+	binary.LittleEndian.PutUint64(out[16:], f.indexOff)
+	binary.LittleEndian.PutUint64(out[24:], f.indexLen)
+	binary.LittleEndian.PutUint64(out[32:], f.entryCount)
+	binary.LittleEndian.PutUint64(out[40:], f.tombstoneCount)
+	binary.LittleEndian.PutUint64(out[48:], f.checksumOff)
+	binary.LittleEndian.PutUint64(out[56:], f.checksumLen)
+	binary.LittleEndian.PutUint64(out[64:], f.modelOff)
+	binary.LittleEndian.PutUint64(out[72:], f.modelLen)
+	binary.LittleEndian.PutUint64(out[80:], magicV3)
+	return out
+}
+
+// marshalV2 emits the 72-byte v2 footer (no model section).
+func (f footer) marshalV2() []byte {
 	out := make([]byte, footerLenV2)
 	binary.LittleEndian.PutUint64(out[0:], f.filterOff)
 	binary.LittleEndian.PutUint64(out[8:], f.filterLen)
@@ -94,26 +130,37 @@ func (f footer) marshalV1() []byte {
 }
 
 // unmarshalFooter decodes a footer from the tail of the file. b holds the
-// last min(fileSize, footerLenV2) bytes; the magic in the final 8 bytes
-// selects the version. hasChecksums reports whether the table carries a
-// checksum section (format v2).
-func unmarshalFooter(b []byte) (f footer, hasChecksums bool, err error) {
+// last min(fileSize, footerLenV3) bytes; the magic in the final 8 bytes
+// selects the version (1, 2 or 3). Versions ≥ 2 carry a checksum section;
+// version 3 may carry a model section.
+func unmarshalFooter(b []byte) (f footer, version int, err error) {
 	if len(b) < footerLenV1 {
-		return f, false, fmt.Errorf("%w: footer length %d", ErrBadTable, len(b))
+		return f, 0, fmt.Errorf("%w: footer length %d", ErrBadTable, len(b))
 	}
 	switch binary.LittleEndian.Uint64(b[len(b)-8:]) {
+	case magicV3:
+		if len(b) < footerLenV3 {
+			return f, 0, fmt.Errorf("%w: v3 footer length %d", ErrBadTable, len(b))
+		}
+		b = b[len(b)-footerLenV3:]
+		f.checksumOff = binary.LittleEndian.Uint64(b[48:])
+		f.checksumLen = binary.LittleEndian.Uint64(b[56:])
+		f.modelOff = binary.LittleEndian.Uint64(b[64:])
+		f.modelLen = binary.LittleEndian.Uint64(b[72:])
+		version = 3
 	case magicV2:
 		if len(b) < footerLenV2 {
-			return f, false, fmt.Errorf("%w: v2 footer length %d", ErrBadTable, len(b))
+			return f, 0, fmt.Errorf("%w: v2 footer length %d", ErrBadTable, len(b))
 		}
 		b = b[len(b)-footerLenV2:]
 		f.checksumOff = binary.LittleEndian.Uint64(b[48:])
 		f.checksumLen = binary.LittleEndian.Uint64(b[56:])
-		hasChecksums = true
+		version = 2
 	case magicV1:
 		b = b[len(b)-footerLenV1:]
+		version = 1
 	default:
-		return f, false, fmt.Errorf("%w: bad magic", ErrBadTable)
+		return f, 0, fmt.Errorf("%w: bad magic", ErrBadTable)
 	}
 	f.filterOff = binary.LittleEndian.Uint64(b[0:])
 	f.filterLen = binary.LittleEndian.Uint64(b[8:])
@@ -121,7 +168,7 @@ func unmarshalFooter(b []byte) (f footer, hasChecksums bool, err error) {
 	f.indexLen = binary.LittleEndian.Uint64(b[24:])
 	f.entryCount = binary.LittleEndian.Uint64(b[32:])
 	f.tombstoneCount = binary.LittleEndian.Uint64(b[40:])
-	return f, hasChecksums, nil
+	return f, version, nil
 }
 
 // checksumSet holds a table's recorded CRCs: one per data block, plus the
@@ -170,15 +217,24 @@ type blockHandle struct {
 }
 
 // indexEntry maps a data block to the largest internal key it contains.
+// Format v3 additionally records the block's first internal key (per-block
+// lower bound: point gets reject gap keys with zero I/O) and the in-block
+// offsets of every K-th entry after the first (restart points: the entry
+// scan binary-searches restarts instead of walking the whole block).
+// firstKey and restarts are nil for entries read from v1/v2 tables.
 type indexEntry struct {
-	lastKey []byte
-	handle  blockHandle
+	lastKey  []byte
+	handle   blockHandle
+	firstKey []byte
+	restarts []uint32
 }
 
 // marshalIndex serializes the block index, prefixed with the table's
 // smallest user key so readers recover both user-key bounds without a data-
-// block read (the largest comes from the final entry's last key).
-func marshalIndex(smallest []byte, entries []indexEntry) []byte {
+// block read (the largest comes from the final entry's last key). version 3
+// appends each entry's first key and restart offsets (delta-encoded; the
+// implicit first restart at offset 0 is not stored).
+func marshalIndex(smallest []byte, entries []indexEntry, version int) []byte {
 	var out []byte
 	out = binary.AppendUvarint(out, uint64(len(smallest)))
 	out = append(out, smallest...)
@@ -188,11 +244,21 @@ func marshalIndex(smallest []byte, entries []indexEntry) []byte {
 		out = append(out, e.lastKey...)
 		out = binary.AppendUvarint(out, e.handle.offset)
 		out = binary.AppendUvarint(out, e.handle.length)
+		if version >= 3 {
+			out = binary.AppendUvarint(out, uint64(len(e.firstKey)))
+			out = append(out, e.firstKey...)
+			out = binary.AppendUvarint(out, uint64(len(e.restarts)))
+			prev := uint32(0)
+			for _, r := range e.restarts {
+				out = binary.AppendUvarint(out, uint64(r-prev))
+				prev = r
+			}
+		}
 	}
 	return out
 }
 
-func unmarshalIndex(b []byte) (smallest []byte, entries []indexEntry, err error) {
+func unmarshalIndex(b []byte, version int) (smallest []byte, entries []indexEntry, err error) {
 	slen, sz := binary.Uvarint(b)
 	if sz <= 0 || uint64(len(b[sz:])) < slen {
 		return nil, nil, fmt.Errorf("%w: index smallest key", ErrBadTable)
@@ -226,7 +292,38 @@ func unmarshalIndex(b []byte) (smallest []byte, entries []indexEntry, err error)
 			return nil, nil, fmt.Errorf("%w: index length", ErrBadTable)
 		}
 		b = b[sz:]
-		entries = append(entries, indexEntry{lastKey: key, handle: blockHandle{off, length}})
+		e := indexEntry{lastKey: key, handle: blockHandle{off, length}}
+		if version >= 3 {
+			fklen, sz := binary.Uvarint(b)
+			if sz <= 0 || uint64(len(b[sz:])) < fklen {
+				return nil, nil, fmt.Errorf("%w: index first key", ErrBadTable)
+			}
+			b = b[sz:]
+			e.firstKey = append([]byte(nil), b[:fklen]...)
+			b = b[fklen:]
+			nr, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("%w: index restart count", ErrBadTable)
+			}
+			b = b[sz:]
+			if nr > 0 {
+				e.restarts = make([]uint32, 0, nr)
+				prev := uint64(0)
+				for j := uint64(0); j < nr; j++ {
+					d, sz := binary.Uvarint(b)
+					if sz <= 0 {
+						return nil, nil, fmt.Errorf("%w: index restart", ErrBadTable)
+					}
+					b = b[sz:]
+					prev += d
+					if prev > length {
+						return nil, nil, fmt.Errorf("%w: restart past block end", ErrBadTable)
+					}
+					e.restarts = append(e.restarts, uint32(prev))
+				}
+			}
+		}
+		entries = append(entries, e)
 	}
 	return smallest, entries, nil
 }

@@ -1,0 +1,115 @@
+package sstable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/vfs"
+)
+
+// Benchmarks for the learned block index (DESIGN.md §12): the same table is
+// probed with the model enabled and disabled, so the delta is exactly the
+// seekBlock strategy — predict + ±ε window search vs full binary search over
+// the block index. A large block cache keeps every data block hot; on-disk
+// I/O would dwarf and mask the index-search cost this measures.
+
+// benchReader builds a model-backed table over cells and opens it cache-hot.
+func benchReader(b *testing.B, cells []kv.Cell) *Reader {
+	b.Helper()
+	fs := vfs.NewMemFS()
+	buildTableWith(b, fs, "bench.sst", cells, WriterOptions{LearnedIndex: true})
+	r, err := Open(fs, "bench.sst", NewBlockCache(1<<30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !r.HasModel() {
+		b.Fatal("no model trained")
+	}
+	// Touch every block once so the timed loop never faults the cache.
+	it := r.Iterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+	}
+	return r
+}
+
+func benchGet(b *testing.B, cells []kv.Cell, useModel bool) {
+	r := benchReader(b, cells)
+	defer r.Close()
+	rng := rand.New(rand.NewSource(1))
+	probes := make([][]byte, 4096)
+	for i := range probes {
+		probes[i] = cells[rng.Intn(len(cells))].Key
+	}
+	r.SetUseModel(useModel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := r.Get(probes[i%len(probes)], kv.MaxTimestamp)
+		if err != nil || !ok {
+			b.Fatalf("Get(%q) = ok=%v err=%v", probes[i%len(probes)], ok, err)
+		}
+	}
+	b.StopTimer()
+	if useModel {
+		hits, falls := r.ModelStats()
+		b.ReportMetric(float64(hits)/float64(hits+falls), "model-hit-rate")
+	}
+}
+
+// BenchmarkLearnedGet is the acceptance benchmark: model vs binary point
+// lookups across key distributions and table sizes (~64 and ~1024 blocks;
+// roughly 115 entries per 4 KiB block at this row shape).
+func BenchmarkLearnedGet(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		rows int
+	}{
+		{"64blocks", 7400},
+		{"1024blocks", 118000},
+	} {
+		for _, dist := range []string{"sequential", "zipfian", "composite"} {
+			cells := distCells(dist, size.rows)
+			for _, mode := range []struct {
+				name  string
+				model bool
+			}{
+				{"model", true},
+				{"binary", false},
+			} {
+				b.Run(fmt.Sprintf("%s/%s/%s", dist, size.name, mode.name), func(b *testing.B) {
+					benchGet(b, cells, mode.model)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkLearnedSeekBlock isolates the index-search step itself (no block
+// fetch, no in-block scan): the purest view of what the model buys.
+func BenchmarkLearnedSeekBlock(b *testing.B) {
+	cells := distCells("sequential", 118000)
+	r := benchReader(b, cells)
+	defer r.Close()
+	rng := rand.New(rand.NewSource(1))
+	probes := make([][]byte, 4096)
+	for i := range probes {
+		probes[i] = kv.SeekKey(cells[rng.Intn(len(cells))].Key, kv.MaxTimestamp)
+	}
+	for _, mode := range []struct {
+		name  string
+		model bool
+	}{
+		{"model", true},
+		{"binary", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			r.SetUseModel(mode.model)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.seekBlock(probes[i%len(probes)])
+			}
+		})
+	}
+}

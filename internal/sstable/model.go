@@ -1,0 +1,265 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Learned block index (format v3, DESIGN.md §12).
+//
+// SSTables are immutable, so a per-table model mapping key → block ordinal
+// can be trained in one pass at write time and never maintained again. The
+// model is a bounded-error piecewise-linear function over a fixed-width key
+// prefix: each block contributes one training point (prefix of its first
+// user key, block ordinal), and a greedy shrinking-cone fit (FITing-tree /
+// PGM style) emits the fewest segments such that every point within a
+// segment is predicted within ±ε blocks. At read time the reader predicts a
+// block and verifies a ±ε window against the exact block index; any key the
+// model cannot place (out-of-range prefix, duplicate-prefix runs wider than
+// the cone) falls back to the full binary search, so the model is a pure
+// accelerator — it can never change a lookup's result.
+
+const (
+	// DefaultModelEpsilon is the training error bound in blocks: a
+	// prediction is off by at most this many block ordinals, so the read-
+	// side verification window spans 2ε+1 index entries. Smaller ε means a
+	// shorter window search per lookup but more segments per table; at ~24
+	// bytes a segment the space cost of ε=4 is noise even on huge tables.
+	DefaultModelEpsilon = 4
+	// DefaultRestartInterval is the entry spacing of in-block restart
+	// points: the offset of every K-th entry is recorded in the index so an
+	// in-block lookup binary-searches restarts and scans at most K entries
+	// (K/2 expected). K=8 keeps the expected tail at 4 entry decodes for
+	// ~14 extra uvarints per block in the index.
+	DefaultRestartInterval = 8
+	// modelPrefixLen is the fixed key-prefix width the model maps to a
+	// block ordinal: 8 bytes (after stripping the table-wide common prefix)
+	// packed big-endian into a uint64, preserving lexicographic order.
+	modelPrefixLen = 8
+)
+
+// modelSegment is one piece of the piecewise-linear fit: for prefixes
+// x ≥ startX (and below the next segment's startX) the predicted block is
+// startBlock + slope·(x − startX).
+type modelSegment struct {
+	startX     uint64
+	startBlock int
+	slope      float64
+}
+
+// blockModel is a trained per-table model plus the prefix extraction
+// parameters it was trained with.
+type blockModel struct {
+	epsilon  int
+	prefixAt int // bytes of table-wide common prefix stripped before the 8-byte window
+	segments []modelSegment
+}
+
+// keyPrefix packs up to modelPrefixLen bytes of user starting at off into a
+// big-endian, left-aligned uint64. Left alignment (shifting short tails into
+// the high bytes) preserves lexicographic order of the sliced bytes, which
+// is all the model relies on.
+func keyPrefix(user []byte, off int) uint64 {
+	var x uint64
+	i := 0
+	for ; i < modelPrefixLen && off+i < len(user); i++ {
+		x = x<<8 | uint64(user[off+i])
+	}
+	return x << (8 * uint(modelPrefixLen-i))
+}
+
+// commonPrefixLen returns the length of the longest shared prefix of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// trainModel fits a piecewise-linear model over the first user key of each
+// block (firstUsers, ascending) with error bound epsilon, using the greedy
+// shrinking-cone algorithm: a segment stays open while some slope predicts
+// every point seen so far within ±ε; when the feasible slope interval
+// empties, the segment closes at the midpoint of its final cone and a new
+// one opens. Duplicate prefixes (keys longer than the window, or heavy
+// duplication) can exceed any fixed-slope error bound; such runs simply
+// close segments — the reader's window verification turns the residual
+// error into a counted fallback, never a wrong answer. Returns nil for
+// tables with no blocks.
+func trainModel(firstUsers [][]byte, epsilon int) *blockModel {
+	if len(firstUsers) == 0 {
+		return nil
+	}
+	if epsilon <= 0 {
+		epsilon = DefaultModelEpsilon
+	}
+	strip := commonPrefixLen(firstUsers[0], firstUsers[len(firstUsers)-1])
+	m := &blockModel{epsilon: epsilon, prefixAt: strip}
+
+	var (
+		open             bool
+		x0               uint64
+		y0               int
+		slopeLo, slopeHi float64
+	)
+	closeSeg := func() {
+		slope := 0.0
+		switch {
+		case math.IsInf(slopeHi, 1) && math.IsInf(slopeLo, -1):
+			// Single-point segment: constant prediction.
+		case math.IsInf(slopeHi, 1):
+			slope = slopeLo
+		default:
+			slope = (slopeLo + slopeHi) / 2
+		}
+		m.segments = append(m.segments, modelSegment{startX: x0, startBlock: y0, slope: slope})
+	}
+	openSeg := func(x uint64, y int) {
+		open, x0, y0 = true, x, y
+		slopeLo, slopeHi = math.Inf(-1), math.Inf(1)
+	}
+	eps := float64(epsilon)
+	for y, user := range firstUsers {
+		x := keyPrefix(user, strip)
+		if !open {
+			openSeg(x, y)
+			continue
+		}
+		dy := float64(y - y0)
+		if x == x0 {
+			// Same prefix as the segment start: prediction is the start
+			// block, tolerable while the run stays within ε.
+			if dy > eps {
+				closeSeg()
+				openSeg(x, y)
+			}
+			continue
+		}
+		dx := float64(x - x0)
+		lo, hi := (dy-eps)/dx, (dy+eps)/dx
+		if lo < slopeLo {
+			lo = slopeLo
+		}
+		if hi > slopeHi {
+			hi = slopeHi
+		}
+		if lo > hi {
+			// Infeasible: close on the cone as it stood BEFORE this point —
+			// intersecting first would poison the closing midpoint.
+			closeSeg()
+			openSeg(x, y)
+		} else {
+			slopeLo, slopeHi = lo, hi
+		}
+	}
+	if open {
+		closeSeg()
+	}
+	return m
+}
+
+// predict returns the model's block-ordinal estimate for user key, clamped
+// to [0, nBlocks).
+func (m *blockModel) predict(user []byte, nBlocks int) int {
+	x := keyPrefix(user, m.prefixAt)
+	// Binary search for the last segment with startX ≤ x. Segment counts
+	// are tiny (one per curvature change), so this is a handful of integer
+	// compares.
+	lo, hi := 0, len(m.segments)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.segments[mid].startX <= x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	s := m.segments[lo]
+	pred := s.startBlock
+	if x > s.startX {
+		pred += int(s.slope*float64(x-s.startX) + 0.5)
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	if pred >= nBlocks {
+		pred = nBlocks - 1
+	}
+	return pred
+}
+
+// marshalModel serializes a trained model, self-protected by a trailing
+// CRC32C like the checksum section: a corrupted model is rejected at Open
+// instead of silently mis-predicting (mis-prediction is harmless, but a
+// torn float could decode to NaN and poison every window).
+func marshalModel(m *blockModel) []byte {
+	out := binary.AppendUvarint(nil, uint64(m.epsilon))
+	out = binary.AppendUvarint(out, uint64(m.prefixAt))
+	out = binary.AppendUvarint(out, uint64(len(m.segments)))
+	for _, s := range m.segments {
+		out = binary.LittleEndian.AppendUint64(out, s.startX)
+		out = binary.AppendUvarint(out, uint64(s.startBlock))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.slope))
+	}
+	return binary.LittleEndian.AppendUint32(out, blockCRC(out))
+}
+
+func unmarshalModel(b []byte) (*blockModel, error) {
+	if len(b) < 4 || blockCRC(b[:len(b)-4]) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return nil, fmt.Errorf("%w: model section", ErrCorruption)
+	}
+	b = b[:len(b)-4]
+	m := &blockModel{}
+	eps, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: model epsilon", ErrBadTable)
+	}
+	b = b[sz:]
+	m.epsilon = int(eps)
+	strip, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: model prefix", ErrBadTable)
+	}
+	b = b[sz:]
+	m.prefixAt = int(strip)
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: model segment count", ErrBadTable)
+	}
+	b = b[sz:]
+	m.segments = make([]modelSegment, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("%w: model segment", ErrBadTable)
+		}
+		var s modelSegment
+		s.startX = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		blk, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: model segment block", ErrBadTable)
+		}
+		b = b[sz:]
+		s.startBlock = int(blk)
+		if len(b) < 8 {
+			return nil, fmt.Errorf("%w: model segment slope", ErrBadTable)
+		}
+		s.slope = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if math.IsNaN(s.slope) || math.IsInf(s.slope, 0) {
+			return nil, fmt.Errorf("%w: model slope not finite", ErrBadTable)
+		}
+		m.segments = append(m.segments, s)
+	}
+	if len(m.segments) == 0 {
+		return nil, nil // a v3 table written with the model knob off
+	}
+	return m, nil
+}

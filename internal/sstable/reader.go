@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"diffindex/internal/bloom"
 	"diffindex/internal/kv"
+	"diffindex/internal/metrics"
 	"diffindex/internal/vfs"
 )
 
@@ -29,8 +31,24 @@ type Reader struct {
 	size       int64
 
 	crcs         checksumSet
+	version      int // footer format version (1, 2 or 3)
 	hasChecksums bool
 	verify       bool // verify block CRCs on every read (set before use)
+
+	// Learned block index (v3, optional): model predicts a block ordinal,
+	// seekBlock verifies a ±ε window against the exact index and falls back
+	// to the full binary search on a miss. useModel gates the path for
+	// divergence tests and benchmarks; set before concurrent use.
+	model      *blockModel
+	modelLen   int
+	useModel   bool
+	modelHits  atomic.Uint64
+	modelMiss  atomic.Uint64
+	modelWidth atomic.Uint64 // sum of verification-window widths, in blocks
+
+	// Registry counters mirroring the atomics (nil unless wired by the
+	// owning store via SetModelMetrics).
+	hitsC, missC, widthC *metrics.Counter
 }
 
 // Open opens a finished table file. cache may be nil to disable block
@@ -49,7 +67,7 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("%w: %s is %d bytes", ErrBadTable, name, size)
 	}
-	tail := int64(footerLenV2)
+	tail := int64(footerLenV3)
 	if size < tail {
 		tail = size
 	}
@@ -58,10 +76,20 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("sstable: read footer of %s: %w", name, err)
 	}
-	ftr, hasChecksums, err := unmarshalFooter(buf)
+	ftr, version, err := unmarshalFooter(buf)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	hasChecksums := version >= 2
+
+	// A corrupted footer must fail structurally, not panic allocating a
+	// garbage-length section buffer.
+	sane := func(off, n uint64) bool { return off <= uint64(size) && n <= uint64(size)-off }
+	if !sane(ftr.filterOff, ftr.filterLen) || !sane(ftr.indexOff, ftr.indexLen) ||
+		!sane(ftr.checksumOff, ftr.checksumLen) || !sane(ftr.modelOff, ftr.modelLen) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s footer section out of range", ErrBadTable, name)
 	}
 
 	idxBuf := make([]byte, ftr.indexLen)
@@ -69,7 +97,7 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("sstable: read index of %s: %w", name, err)
 	}
-	smallest, index, err := unmarshalIndex(idxBuf)
+	smallest, index, err := unmarshalIndex(idxBuf, version)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -117,6 +145,21 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 		}
 	}
 
+	var model *blockModel
+	modelLen := 0
+	if version >= 3 && ftr.modelLen > 0 {
+		mBuf := make([]byte, ftr.modelLen)
+		if _, err := f.ReadAt(mBuf, int64(ftr.modelOff)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sstable: read model of %s: %w", name, err)
+		}
+		if model, err = unmarshalModel(mBuf); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		modelLen = len(mBuf)
+	}
+
 	r := &Reader{
 		f:            f,
 		name:         name,
@@ -128,7 +171,11 @@ func Open(fs vfs.FS, name string, cache *BlockCache) (*Reader, error) {
 		tombstones:   ftr.tombstoneCount,
 		size:         size,
 		crcs:         crcs,
+		version:      version,
 		hasChecksums: hasChecksums,
+		model:        model,
+		modelLen:     modelLen,
+		useModel:     model != nil,
 	}
 	if len(index) > 0 {
 		// Recover user-key bounds without a data-block read: the smallest
@@ -175,11 +222,68 @@ func (r *Reader) MayContainKey(userKey []byte) bool {
 // Close releases the underlying file handle.
 func (r *Reader) Close() error { return r.f.Close() }
 
-// HasChecksums reports whether the table carries per-block CRCs (format v2).
+// HasChecksums reports whether the table carries per-block CRCs (format v2+).
 func (r *Reader) HasChecksums() bool { return r.hasChecksums }
+
+// FormatVersion returns the table's footer format version (1, 2 or 3).
+func (r *Reader) FormatVersion() int { return r.version }
 
 // NumBlocks returns the number of data blocks in the table.
 func (r *Reader) NumBlocks() int { return len(r.index) }
+
+// HasModel reports whether the table carries a learned block model.
+func (r *Reader) HasModel() bool { return r.model != nil }
+
+// SetUseModel enables or disables the learned seek path (no-op on tables
+// without a model). Must be called before the reader serves concurrent
+// reads; divergence tests and benchmarks use it to compare the model and
+// binary-search paths on one table.
+func (r *Reader) SetUseModel(on bool) { r.useModel = on && r.model != nil }
+
+// SetModelMetrics wires the reader's model counters into a registry: hits
+// (window-verified predictions), fallbacks (full binary searches after a
+// window miss) and windowBlocks (the summed width of verified windows; the
+// mean window is windowBlocks/hits). Any counter may be nil. Must be called
+// before the reader serves concurrent reads.
+func (r *Reader) SetModelMetrics(hits, fallbacks, windowBlocks *metrics.Counter) {
+	r.hitsC, r.missC, r.widthC = hits, fallbacks, windowBlocks
+}
+
+// ModelStats returns the reader's cumulative model counters: window-verified
+// predictions and fallbacks to the full binary search.
+func (r *Reader) ModelStats() (hits, fallbacks uint64) {
+	return r.modelHits.Load(), r.modelMiss.Load()
+}
+
+// TableInfo summarizes a table's format and lookup-accelerator footprint —
+// the per-table view `lsmtool stats` prints for operators.
+type TableInfo struct {
+	FormatVersion int
+	Blocks        int
+	Entries       uint64
+	Restarts      int // total in-block restart points across all blocks
+	ModelSegments int
+	ModelEpsilon  int // 0 when the table has no model
+	ModelBytes    int
+}
+
+// Info returns the table's format/model summary.
+func (r *Reader) Info() TableInfo {
+	info := TableInfo{
+		FormatVersion: r.version,
+		Blocks:        len(r.index),
+		Entries:       r.count,
+		ModelBytes:    r.modelLen,
+	}
+	for i := range r.index {
+		info.Restarts += len(r.index[i].restarts)
+	}
+	if r.model != nil {
+		info.ModelSegments = len(r.model.segments)
+		info.ModelEpsilon = r.model.epsilon
+	}
+	return info
+}
 
 // SetVerifyChecksums enables CRC verification on every data-block read (a
 // cache hit is not re-verified: it was checked when first read). Must be
@@ -221,13 +325,109 @@ func (r *Reader) block(i int) ([]byte, error) {
 	return buf, nil
 }
 
-// seekBlock returns the position of the first block whose last key is ≥ ikey
-// (i.e. the only block that can contain ikey), or len(index) when ikey is
-// past the table's end.
-func (r *Reader) seekBlock(ikey []byte) int {
+// seekBlockBinary is the exact path: a binary search over the whole block
+// index for the first block whose last key is ≥ ikey, or len(index) when
+// ikey is past the table's end.
+func (r *Reader) seekBlockBinary(ikey []byte) int {
 	return sort.Search(len(r.index), func(i int) bool {
 		return kv.CompareInternal(r.index[i].lastKey, ikey) >= 0
 	})
+}
+
+// seekBlock returns the position of the first block whose last key is ≥ ikey
+// (i.e. the only block that can contain ikey), or len(index) when ikey is
+// past the table's end. When the table carries a learned model, the model
+// predicts a block and only a ±ε window of the index is searched; the window
+// search plus at most one boundary probe prove the result is the global one,
+// and any violation (out-of-range key, prefix collision wider than ε) falls
+// back to the full binary search — so the result is always identical to
+// seekBlockBinary.
+func (r *Reader) seekBlock(ikey []byte) int {
+	m := r.model
+	if m == nil || !r.useModel {
+		return r.seekBlockBinary(ikey)
+	}
+	n := len(r.index)
+	pred := m.predict(kv.InternalUserKey(ikey), n)
+	lo := pred - m.epsilon
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pred + m.epsilon
+	if hi >= n {
+		hi = n - 1
+	}
+	// Search the window first; the search result itself carries most of the
+	// correctness proof. j is the first block in [lo, hi] with lastKey ≥
+	// ikey (or hi+1 when none is).
+	j := lo + sort.Search(hi-lo+1, func(i int) bool {
+		return kv.CompareInternal(r.index[lo+i].lastKey, ikey) >= 0
+	})
+	if j > hi {
+		if hi == n-1 {
+			// Every block in the window — hence, by sortedness, in the
+			// table — ends below ikey: past-the-end, no probe needed.
+			r.noteModel(&r.modelHits, r.hitsC, 1)
+			r.noteModel(&r.modelWidth, r.widthC, uint64(hi-lo+1))
+			return n
+		}
+		// ikey lies beyond the window: the model missed.
+		r.noteModel(&r.modelMiss, r.missC, 1)
+		return r.seekBlockBinary(ikey)
+	}
+	if j == lo && lo > 0 && kv.CompareInternal(r.index[lo-1].lastKey, ikey) >= 0 {
+		// Landed on the window's left edge with blocks before it that also
+		// reach ikey: the true block is left of the window.
+		r.noteModel(&r.modelMiss, r.missC, 1)
+		return r.seekBlockBinary(ikey)
+	}
+	// j > lo proves index[j-1].lastKey < ikey directly; j == lo was probed
+	// (or touches the table start). Either way j is the global answer.
+	r.noteModel(&r.modelHits, r.hitsC, 1)
+	r.noteModel(&r.modelWidth, r.widthC, uint64(hi-lo+1))
+	return j
+}
+
+func (r *Reader) noteModel(local *atomic.Uint64, c *metrics.Counter, d uint64) {
+	local.Add(d)
+	if c != nil {
+		c.Add(int64(d))
+	}
+}
+
+// searchBlock returns the offset of the first entry in blk with internal
+// key ≥ seek, or len(blk) when every entry is below seek. With restart
+// points (v3) it binary-searches the restarts and scans a ≤K-entry tail;
+// without them it scans from the block start. Either way the scan exits at
+// the first entry ≥ seek — it never walks entries past the target. A
+// malformed entry is reported as a negative offset.
+func searchBlock(blk []byte, restarts []uint32, seek []byte) int {
+	off := 0
+	if len(restarts) > 0 {
+		// First restart with key ≥ seek; the scan starts one restart
+		// earlier (the target may precede that restart's entry).
+		j := sort.Search(len(restarts), func(j int) bool {
+			ikey, _, n := blockEntry(blk[restarts[j]:])
+			if n == 0 {
+				return true // malformed tail: stay left, the scan reports it
+			}
+			return kv.CompareInternal(ikey, seek) >= 0
+		})
+		if j > 0 {
+			off = int(restarts[j-1])
+		}
+	}
+	for off < len(blk) {
+		ikey, _, n := blockEntry(blk[off:])
+		if n == 0 {
+			return -1
+		}
+		if kv.CompareInternal(ikey, seek) >= 0 {
+			return off
+		}
+		off += n
+	}
+	return len(blk)
 }
 
 // Get returns the newest version of userKey with timestamp ≤ ts stored in
@@ -237,36 +437,49 @@ func (r *Reader) Get(userKey []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
 	if !r.filter.MayContain(userKey) {
 		return kv.Cell{}, false, nil
 	}
-	seek := kv.SeekKey(userKey, ts)
+	// Seek key built in a stack buffer: for ordinary key lengths the hottest
+	// read path does zero allocations.
+	var seekArr [128]byte
+	seek := kv.AppendInternalKey(seekArr[:0], userKey, ts, kv.KindDelete)
 	bi := r.seekBlock(seek)
 	if bi >= len(r.index) {
+		return kv.Cell{}, false, nil
+	}
+	// Per-block lower bound (v3): every block before bi ends below seek, so
+	// if block bi already starts past userKey the key lives in the gap
+	// between blocks — reject without any block I/O (the per-block analogue
+	// of the table-level MayContainKey skip).
+	if fk := r.index[bi].firstKey; fk != nil &&
+		bytes.Compare(kv.InternalUserKey(fk), userKey) > 0 {
 		return kv.Cell{}, false, nil
 	}
 	blk, err := r.block(bi)
 	if err != nil {
 		return kv.Cell{}, false, err
 	}
-	for off := 0; off < len(blk); {
-		ikey, val, n := blockEntry(blk[off:])
-		if n == 0 {
-			return kv.Cell{}, false, fmt.Errorf("%w: %s block %d", ErrBadTable, r.name, bi)
-		}
-		off += n
-		if kv.CompareInternal(ikey, seek) < 0 {
-			continue
-		}
-		uk, vts, kind, err := kv.ParseInternalKey(ikey)
-		if err != nil {
-			return kv.Cell{}, false, err
-		}
-		if string(uk) != string(userKey) {
-			return kv.Cell{}, false, nil
-		}
-		return kv.Cell{Key: uk, Value: val, Ts: vts, Kind: kind}, true, nil
+	off := searchBlock(blk, r.index[bi].restarts, seek)
+	if off < 0 {
+		return kv.Cell{}, false, fmt.Errorf("%w: %s block %d", ErrBadTable, r.name, bi)
 	}
-	// seek key may fall past this block's last entry only if the index is
-	// inconsistent; treat as not found.
-	return kv.Cell{}, false, nil
+	if off >= len(blk) {
+		// seek falls past this block's last entry only if the index is
+		// inconsistent; treat as not found.
+		return kv.Cell{}, false, nil
+	}
+	ikey, val, n := blockEntry(blk[off:])
+	if n == 0 {
+		return kv.Cell{}, false, fmt.Errorf("%w: %s block %d", ErrBadTable, r.name, bi)
+	}
+	uk, vts, kind, err := kv.ParseInternalKey(ikey)
+	if err != nil {
+		return kv.Cell{}, false, err
+	}
+	if string(uk) != string(userKey) {
+		// First entry ≥ seek belongs to a later user key: no visible
+		// version here. The scan never parses entries past this point.
+		return kv.Cell{}, false, nil
+	}
+	return kv.Cell{Key: uk, Value: val, Ts: vts, Kind: kind}, true, nil
 }
 
 // Iterator returns a cursor over the whole table in internal-key order.
@@ -305,23 +518,20 @@ func (it *Iterator) Seek(seek []byte) {
 	if !it.loadBlock() {
 		return
 	}
-	for {
-		for it.off < len(it.blk) {
-			ikey, val, n := blockEntry(it.blk[it.off:])
-			if n == 0 {
-				it.fail(fmt.Errorf("%w: %s block %d", ErrBadTable, it.r.name, it.blockIdx))
-				return
-			}
-			it.off += n
-			if kv.CompareInternal(ikey, seek) >= 0 {
-				it.ikey, it.value, it.valid = ikey, val, true
-				return
-			}
-		}
-		if !it.advanceBlock() {
+	// Restart-guided entry search within the block (v3); a v1/v2 block
+	// scans from its start. A seek past the block's last entry (possible
+	// only on the seekBlock result block when the index is inconsistent)
+	// continues into the following block.
+	e := &it.r.index[bi]
+	if e.firstKey == nil || kv.CompareInternal(seek, e.firstKey) > 0 {
+		off := searchBlock(it.blk, e.restarts, seek)
+		if off < 0 {
+			it.fail(fmt.Errorf("%w: %s block %d", ErrBadTable, it.r.name, it.blockIdx))
 			return
 		}
+		it.off = off
 	}
+	it.stepEntry()
 }
 
 func (it *Iterator) fail(err error) {
