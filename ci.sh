@@ -39,6 +39,12 @@
 #      integrity pair (scrubber detects misreads, sweep repairs injected
 #      divergence, unfaulted control stays silent); and a one-iteration
 #      BenchmarkScrubOverhead smoke
+#  12. time-travel       — the log-as-database subsystem (DESIGN.md §13):
+#      snapshot-in-log, as-of reads and the CDC feed under -race; the
+#      chaos crash scenario (torn write mid-snapshot, then snapshot+tail
+#      recovery must equal full replay and every golden as-of read must
+#      hold); a `lsmtool wal tail` smoke; and a one-iteration
+#      BenchmarkRecoveryReplay smoke of both recovery paths
 set -eu
 cd "$(dirname "$0")"
 
@@ -113,5 +119,22 @@ fi
 # must repair injected divergence) plus the unfaulted false-positive control.
 go run ./cmd/chaoskit -scenarios 0 -integrity -trace=false
 go test -run=NONE -bench=BenchmarkScrubOverhead -benchtime=1x ./internal/lsm
+
+echo "== time-travel (snapshot-in-log + as-of reads + CDC, DESIGN.md §13) =="
+# Race pass over the subsystem: snapshot rounds, point-in-time reads racing
+# compaction, WAL tailing/cursors, the change feed and log-sourced rebuild.
+go test -race -count=1 -run 'Snapshot|AsOf|Checkpoint|Truncat|Pin|Tail|Cursor|Changes|Rebuild|ClockObserve' \
+    ./internal/wal ./internal/snapshot ./internal/lsm ./internal/kv ./internal/core .
+# Crash gate: tear every WAL write mid-snapshot, then recovery through the
+# torn record must fall back cleanly — snapshot+tail replay equals full raw
+# replay, golden as-of reads hold, and the retained log still tails every
+# acknowledged mutation.
+go run ./cmd/chaoskit -scenarios 0 -timetravel -trace=false
+# CDC CLI smoke: tailing a store's WAL must surface committed records.
+if ! go run ./cmd/lsmtool wal tail -rows 8 | grep -q 'resume position'; then
+    echo "lsmtool wal tail printed no resume position" >&2
+    exit 1
+fi
+go test -run=NONE -bench=BenchmarkRecoveryReplay -benchtime=1x ./internal/wal
 
 echo "CI PASSED"

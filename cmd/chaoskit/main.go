@@ -34,6 +34,7 @@ func main() {
 	duration := flag.Duration("duration", 1200*time.Millisecond, "chaos window per scenario")
 	ablation := flag.Bool("ablation", false, "also run the drain-on-flush ablation pair (broken run MUST violate)")
 	integrity := flag.Bool("integrity", false, "also run the silent-corruption + index-divergence pair (faulted run + clean control)")
+	timetravel := flag.Bool("timetravel", false, "also run the log-as-database crash scenario (torn mid-snapshot; snapshot+tail recovery must equal full replay)")
 	trace := flag.Bool("trace", true, "print each scenario's planned event trace")
 	compactThreshold := flag.Int("compact-threshold", 0, "per-store SSTable count that arms incremental compaction (0 = chaos default 64, which leaves it cold; try 2 to keep the tiered engine busy)")
 	compactFanIn := flag.Int("compact-fanin", 0, "tables merged per compaction round (0 = store default)")
@@ -127,6 +128,28 @@ func main() {
 			fmt.Printf("%-22s %8d %14s %9d %6d %9d %9d %8d %11d %8s\n",
 				name, res.ScrubCorruptions, latency,
 				res.InjectedMissing+res.InjectedStale, res.Found, res.Repaired, res.Residual,
+				res.Checked, len(res.Violations), res.Elapsed.Round(time.Millisecond))
+			for _, v := range res.Violations {
+				fmt.Println("  VIOLATION " + v.String())
+			}
+			if !res.OK() {
+				fail = true
+			}
+		}
+	}
+
+	if *timetravel {
+		fmt.Printf("\n— timetravel: crash mid-snapshot, recover, replay-equality + golden as-of reads\n")
+		res, err := chaos.RunTimeTravel(*seed)
+		if err != nil {
+			fmt.Printf("  ERROR: %v\n", err)
+			fail = true
+		} else {
+			fmt.Printf("%-12s %6s %10s %10s %8s %8s %8s %8s %11s %8s\n",
+				"", "ops", "snapshots", "snapcells", "replayed", "tailed", "asof", "checked", "violations", "elapsed")
+			fmt.Printf("%-12s %6d %10d %10d %8d %8d %8d %8d %11d %8s\n",
+				"timetravel", res.Ops, res.Snapshots, res.SnapshotCells,
+				res.ReplayedCells, res.TailedRecords, res.AsOfReads,
 				res.Checked, len(res.Violations), res.Elapsed.Round(time.Millisecond))
 			for _, v := range res.Violations {
 				fmt.Println("  VIOLATION " + v.String())

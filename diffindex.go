@@ -26,6 +26,7 @@
 package diffindex
 
 import (
+	"sync"
 	"time"
 
 	"diffindex/internal/cluster"
@@ -164,6 +165,24 @@ type Options struct {
 	ScrubInterval  time.Duration
 	ScrubBlockPace time.Duration
 
+	// SnapshotInterval, when > 0, runs periodic snapshot-in-log rounds on
+	// every region store (DESIGN.md §13): the WAL's sealed unflushed span is
+	// folded into snapshot records appended back into the log, so recovery
+	// replays "latest snapshot + tail" instead of the whole retained log.
+	SnapshotInterval time.Duration
+	// WALRetainSegments is the per-region WAL retention knob: 0 (default)
+	// truncates freely at each flush boundary, N > 0 keeps the newest N
+	// sealed segments for CDC consumers regardless of flushes, and -1 never
+	// truncates — full log-as-database mode, required by
+	// Client.RebuildIndexFromLog. Live Changes feeds pin their position in
+	// addition to this knob.
+	WALRetainSegments int
+	// CDCBufferRecords bounds each Changes feed's in-memory buffer (default
+	// 1024): the pump goroutines stop reading the WAL when the consumer
+	// falls this many records behind, bounding memory while the retention
+	// pin bounds how much log a paused consumer can hold.
+	CDCBufferRecords int
+
 	// DisableTracing turns off per-operation traces (the op-latency
 	// histograms and the slow-op log). Stage and counter metrics still
 	// record; see DESIGN.md's Observability section for what each costs.
@@ -178,6 +197,16 @@ type Options struct {
 type DB struct {
 	c *cluster.Cluster
 	m *core.Manager
+
+	// cdcBuffer is the per-feed buffer bound for Changes (see
+	// Options.CDCBufferRecords).
+	cdcBuffer int
+
+	// cdcMu guards the set of live change feeds; cdcGauge registers the
+	// feed-lag gauge once, on the first feed.
+	cdcMu    sync.Mutex
+	cdcFeeds map[*ChangeFeed]struct{}
+	cdcGauge sync.Once
 }
 
 // Open builds the cluster and index runtime.
@@ -205,6 +234,8 @@ func Open(opts Options) *DB {
 		DisableScrub:             opts.DisableScrub,
 		ScrubInterval:            opts.ScrubInterval,
 		ScrubBlockPace:           opts.ScrubBlockPace,
+		SnapshotInterval:         opts.SnapshotInterval,
+		WALRetainSegments:        opts.WALRetainSegments,
 		DisableTracing:           opts.DisableTracing,
 		SlowOpK:                  opts.SlowOpLog,
 	})
@@ -217,7 +248,11 @@ func Open(opts Options) *DB {
 		SessionMaxBytes:      opts.SessionMaxBytes,
 		DisableDrainOnFlush:  opts.UnsafeDisableDrainOnFlush,
 	})
-	return &DB{c: c, m: m}
+	cdcBuffer := opts.CDCBufferRecords
+	if cdcBuffer <= 0 {
+		cdcBuffer = 1024
+	}
+	return &DB{c: c, m: m, cdcBuffer: cdcBuffer, cdcFeeds: make(map[*ChangeFeed]struct{})}
 }
 
 // CreateTable creates a base table pre-split at the given row keys into
@@ -450,6 +485,37 @@ func (cl *Client) GetRow(table string, row []byte) (Cols, error) {
 // Scan reads rows in [startRow, endRow) (nil bounds are open) up to limit.
 func (cl *Client) Scan(table string, startRow, endRow []byte, limit int) ([]Row, error) {
 	rows, err := cl.c.Scan(table, startRow, endRow, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		out[i] = Row{Key: r.Key, Cols: r.Cols}
+	}
+	return out, nil
+}
+
+// GetAsOf reads one column of a row as it stood at timestamp ts — any
+// timestamp previously returned by Put or Delete, or a past Staleness
+// observation point. ok is false when the column did not exist at ts
+// (never written, or deleted). It returns ErrHistoryTrimmed when the as-of
+// version may have been garbage-collected by MaxVersions retention; raise
+// Options.MaxVersions to retain deeper history (DESIGN.md §13).
+func (cl *Client) GetAsOf(table string, row []byte, col string, ts int64) (value []byte, cellTs int64, ok bool, err error) {
+	return cl.c.GetAsOf(table, row, col, ts)
+}
+
+// GetRowAsOf reads all columns of a row as they stood at timestamp ts; a
+// nil map means no visible row at ts. Columns whose as-of version may have
+// been trimmed are skipped (use GetAsOf per column to detect trimming).
+func (cl *Client) GetRowAsOf(table string, row []byte, ts int64) (Cols, error) {
+	return cl.c.GetRowAsOf(table, row, ts)
+}
+
+// ScanAsOf reads rows in [startRow, endRow) as they stood at timestamp ts,
+// up to limit rows — time-travel Scan.
+func (cl *Client) ScanAsOf(table string, startRow, endRow []byte, ts int64, limit int) ([]Row, error) {
+	rows, err := cl.c.ScanAsOf(table, startRow, endRow, ts, limit)
 	if err != nil {
 		return nil, err
 	}

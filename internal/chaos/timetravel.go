@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"diffindex/internal/kv"
+	"diffindex/internal/lsm"
+	"diffindex/internal/vfs"
+	"diffindex/internal/wal"
+)
+
+// RunTimeTravel runs the log-as-database crash scenario (DESIGN.md §13): a
+// seeded workload of puts/overwrites/deletes is driven through an LSM store
+// with full log retention while golden per-timestamp observations are
+// recorded; snapshot-in-log rounds and a flush interleave; then a fault is
+// armed mid-snapshot so the snapshot record itself is torn on disk, the
+// store is abandoned without Close (the crash), and recovery is checked
+// three ways:
+//
+//  1. snapshot+tail replay must yield exactly the same record multiset as a
+//     full raw replay (DisableSnapshots) of the same log — torn snapshot
+//     records must be fallen through, never half-applied;
+//  2. every golden observation must read back byte-identically through
+//     GetAsOf on the recovered store — time-travel reads survive the crash;
+//  3. the retained log must still tail every acknowledged mutation — the
+//     CDC history is intact.
+//
+// The multiset comparison is exact because the workload clock is monotonic:
+// every record carries a unique (key, ts), so the snapshot fold's
+// (key, ts, kind) dedupe is the identity and folded cells correspond 1:1 to
+// the raw records they cover.
+func RunTimeTravel(seed int64) (*TimeTravelResult, error) {
+	res := &TimeTravelResult{Seed: seed}
+	begin := time.Now()
+	check := func(ok bool, invariant, format string, args ...any) {
+		res.Checked++
+		if !ok {
+			res.Violations = append(res.Violations, Violation{invariant, fmt.Sprintf(format, args...)})
+		}
+	}
+
+	const dir = "timetravel"
+	fault := vfs.NewFaultFS(vfs.NewMemFS())
+	open := func() (*lsm.Store, error) {
+		return lsm.Open(lsm.Options{
+			FS:                 fault,
+			Dir:                dir,
+			MaxVersions:        1024, // never trim: every golden timestamp stays answerable
+			WALRetainSegments:  -1,   // log-as-database mode: full history
+			DisableAutoFlush:   true,
+			DisableAutoCompact: true,
+			DisableScrub:       true,
+		})
+	}
+	store, err := open()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: timetravel open: %w", err)
+	}
+
+	// Seeded workload over a small keyspace: ~85% puts, ~15% deletes, with
+	// a shadow state snapshotted into golden observations as the clock
+	// advances. Only acknowledged mutations update the shadow.
+	rng := rand.New(rand.NewSource(seed))
+	clock := kv.NewClock(1)
+	const keyspace = 48
+	shadow := map[string]string{}
+	type observation struct {
+		ts    kv.Timestamp
+		state map[string]string
+	}
+	var golden []observation
+	observe := func() {
+		state := make(map[string]string, len(shadow))
+		for k, v := range shadow {
+			state[k] = v
+		}
+		golden = append(golden, observation{ts: clock.Now(), state: state})
+	}
+	mutate := func(n int) error {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("key%03d", rng.Intn(keyspace))
+			ts := clock.Next()
+			if rng.Float64() < 0.15 {
+				if err := store.Delete([]byte(key), ts); err != nil {
+					return fmt.Errorf("chaos: timetravel delete: %w", err)
+				}
+				delete(shadow, key)
+			} else {
+				val := fmt.Sprintf("v%d", ts)
+				if err := store.Put([]byte(key), []byte(val), ts); err != nil {
+					return fmt.Errorf("chaos: timetravel put: %w", err)
+				}
+				shadow[key] = val
+			}
+			res.Ops++
+			if res.Ops%25 == 0 {
+				observe()
+			}
+		}
+		return nil
+	}
+
+	snapshotRound := func() error {
+		st, err := store.SnapshotWAL()
+		if err != nil {
+			return fmt.Errorf("chaos: timetravel snapshot: %w", err)
+		}
+		if st.Taken {
+			res.Snapshots++
+			res.SnapshotCells += st.Cells
+		}
+		return nil
+	}
+
+	// Phase A: build history, flush part of it into SSTables (moving the
+	// replay boundary), then take a clean snapshot of the sealed tail.
+	if err := mutate(120); err != nil {
+		return nil, err
+	}
+	if err := store.Flush(); err != nil {
+		return nil, fmt.Errorf("chaos: timetravel flush: %w", err)
+	}
+	if err := mutate(60); err != nil {
+		return nil, err
+	}
+	if err := snapshotRound(); err != nil {
+		return nil, err
+	}
+	if err := mutate(40); err != nil {
+		return nil, err
+	}
+	check(res.Snapshots >= 1, "snapshot-taken",
+		"no snapshot round folded anything before the crash (ops=%d)", res.Ops)
+
+	// Phase B: crash mid-snapshot. Every WAL write is torn while the round
+	// runs, so the snapshot record is half on disk — exactly the on-disk
+	// state of a process that died inside AppendSnapshotPayload.
+	fault.Arm(vfs.FaultConfig{
+		Seed:             mix(seed, "snapshot-crash"),
+		PartialWriteProb: 1,
+		PathSubstr:       ".wal",
+	})
+	_, crashErr := store.SnapshotWAL()
+	fault.Disarm()
+	res.CrashInjected = crashErr != nil
+	check(res.CrashInjected, "snapshot-crash",
+		"snapshot round survived a 100%% torn-write window")
+
+	// A few more acknowledged mutations: the first append rolls off the
+	// tainted segment, sealing the torn snapshot record behind it.
+	if err := mutate(20); err != nil {
+		return nil, err
+	}
+	observe()
+
+	// The crash: abandon the store without Close. Background writers are
+	// all disabled, so the directory now looks exactly like a kill -9.
+	store = nil
+
+	// Check 1: replay equality. Fold the log once through the snapshot path
+	// (what recovery does) and once raw (DisableSnapshots), and require the
+	// exact same record multiset. Each OpenWith creates a fresh empty
+	// active segment — harmless, it replays nothing.
+	collect := func(disableSnapshots bool) (map[string]int, int, error) {
+		counts := map[string]int{}
+		n := 0
+		lg, err := wal.OpenWith(fault, dir+"/wal", wal.ReplayConfig{
+			Replay: func(r wal.Record) {
+				counts[fmt.Sprintf("%s|%d|%d|%s", r.Key, r.Ts, r.Kind, r.Value)]++
+				n++
+			},
+			DisableSnapshots: disableSnapshots,
+			RetainSegments:   -1,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("chaos: timetravel replay(disable=%v): %w", disableSnapshots, err)
+		}
+		lg.Close()
+		return counts, n, nil
+	}
+	snapCells, nSnap, err := collect(false)
+	if err != nil {
+		return nil, err
+	}
+	rawCells, nRaw, err := collect(true)
+	if err != nil {
+		return nil, err
+	}
+	res.ReplayedCells = nSnap
+	equal := len(snapCells) == len(rawCells)
+	if equal {
+		for k, c := range rawCells {
+			if snapCells[k] != c {
+				equal = false
+				break
+			}
+		}
+	}
+	check(equal, "replay-equality",
+		"snapshot+tail replay (%d cells) differs from full raw replay (%d cells)", nSnap, nRaw)
+
+	// Check 2: golden time-travel reads on the recovered store. Every key in
+	// the keyspace at every observed instant must read exactly what a reader
+	// saw when that instant was the present.
+	recovered, err := open()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: timetravel recover: %w", err)
+	}
+	defer recovered.Close()
+	for _, obs := range golden {
+		mismatches := 0
+		var first string
+		for i := 0; i < keyspace; i++ {
+			key := fmt.Sprintf("key%03d", i)
+			cell, ok, err := recovered.GetAsOf([]byte(key), obs.ts)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: timetravel GetAsOf(%s@%d): %w", key, obs.ts, err)
+			}
+			res.AsOfReads++
+			want, exists := obs.state[key]
+			if ok != exists || (ok && string(cell.Value) != want) {
+				mismatches++
+				if first == "" {
+					first = fmt.Sprintf("%s@%d = (%q,%v), want (%q,%v)",
+						key, obs.ts, cell.Value, ok, want, exists)
+				}
+			}
+		}
+		check(mismatches == 0, "as-of-golden",
+			"observation at ts=%d: %d/%d keys diverge after recovery (first: %s)",
+			obs.ts, mismatches, keyspace, first)
+	}
+
+	// Check 3: the retained log still tails every acknowledged mutation —
+	// nothing acked was lost behind the torn frame, nothing phantom appears.
+	tailed := 0
+	var pos wal.Pos
+	for {
+		entries, next, gap, err := recovered.TailWAL(pos, 4096)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: timetravel tail: %w", err)
+		}
+		check(gap == 0, "tail-gap", "tail from %s reported a %d-segment gap under -1 retention", pos, gap)
+		if len(entries) == 0 {
+			break
+		}
+		tailed += len(entries)
+		pos = next
+	}
+	res.TailedRecords = tailed
+	check(tailed == res.Ops, "tail-complete",
+		"log tails %d records, %d mutations were acknowledged", tailed, res.Ops)
+
+	res.Elapsed = time.Since(begin)
+	return res, nil
+}
+
+// TimeTravelResult is one time-travel crash scenario's outcome.
+type TimeTravelResult struct {
+	Seed int64
+	// Ops counts acknowledged mutations; Snapshots the successful
+	// snapshot-in-log rounds and SnapshotCells the cells they folded.
+	Ops           int
+	Snapshots     int
+	SnapshotCells int
+	// CrashInjected reports that the faulted snapshot round failed as
+	// intended, leaving a torn snapshot record on disk.
+	CrashInjected bool
+	// ReplayedCells is the snapshot-path replay's cell count; TailedRecords
+	// how many data records the recovered log tails; AsOfReads the golden
+	// point-in-time reads evaluated.
+	ReplayedCells int
+	TailedRecords int
+	AsOfReads     int
+	// Checked counts assertions evaluated; Violations the failed ones.
+	Checked    int
+	Violations []Violation
+	Elapsed    time.Duration
+}
+
+// OK reports whether every time-travel assertion held.
+func (r *TimeTravelResult) OK() bool { return len(r.Violations) == 0 }

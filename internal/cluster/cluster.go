@@ -84,6 +84,16 @@ type Config struct {
 	BlockRestartInterval int
 	// DisableScrub turns off the per-region background integrity scrubber.
 	DisableScrub bool
+	// SnapshotInterval, when > 0, runs periodic snapshot-in-log rounds on
+	// every region store (see lsm.Options.SnapshotInterval): the WAL's
+	// sealed unflushed span is folded into snapshot records so recovery
+	// replays "latest snapshot + tail".
+	SnapshotInterval time.Duration
+	// WALRetainSegments is the per-region WAL retention knob (see
+	// lsm.Options.WALRetainSegments): 0 truncates at each flush boundary,
+	// N > 0 keeps the newest N sealed segments for CDC consumers, -1 never
+	// truncates (log-as-database mode, required by RebuildIndexFromLog).
+	WALRetainSegments int
 	// ScrubInterval / ScrubBlockPace tune the per-region scrubber (zero
 	// values take the lsm defaults: 5s between cycles, 1ms between blocks).
 	ScrubInterval  time.Duration

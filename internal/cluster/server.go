@@ -10,6 +10,7 @@ import (
 	"diffindex/internal/lsm"
 	"diffindex/internal/metrics"
 	"diffindex/internal/sstable"
+	"diffindex/internal/wal"
 )
 
 // RegionServer hosts regions and serves puts, gets and scans for their key
@@ -105,6 +106,8 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 		DisableScrub:             s.cluster.cfg.DisableScrub,
 		ScrubInterval:            s.cluster.cfg.ScrubInterval,
 		ScrubBlockPace:           s.cluster.cfg.ScrubBlockPace,
+		SnapshotInterval:         s.cluster.cfg.SnapshotInterval,
+		WALRetainSegments:        s.cluster.cfg.WALRetainSegments,
 		Metrics:                  s.cluster.metrics,
 		MetricsTable:             info.Table,
 		OnReplay: func(c kv.Cell) {
@@ -347,6 +350,56 @@ func (s *RegionServer) MultiGetRow(regionID string, rows [][]byte, ts kv.Timesta
 		}
 	}
 	return out, nil
+}
+
+// GetAsOf reads a store key as it stood at ts (time-travel read): the
+// newest non-deleted version with timestamp ≤ ts, or lsm.ErrHistoryTrimmed
+// when the as-of version may have been compacted away.
+func (s *RegionServer) GetAsOf(regionID string, key []byte, ts kv.Timestamp) (kv.Cell, bool, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return kv.Cell{}, false, err
+	}
+	c, ok, err := region.store.GetAsOf(key, ts)
+	if errors.Is(err, lsm.ErrHistoryTrimmed) {
+		return kv.Cell{}, false, err // not a routing miss: surface as-is
+	}
+	return c, ok, mapStoreErr(err)
+}
+
+// ScanAsOf returns the visible versions of store keys in [start, end) as
+// they stood at ts; keys whose as-of version may have been trimmed are
+// skipped (see lsm.Store.ScanAsOf).
+func (s *RegionServer) ScanAsOf(regionID string, start, end []byte, ts kv.Timestamp, limit int) ([]lsm.ScanResult, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return nil, err
+	}
+	results, err := region.store.ScanAsOf(start, end, ts, limit)
+	return results, mapStoreErr(err)
+}
+
+// TailWAL reads committed data records of one region's WAL forward from a
+// resumable position — the RPC surface of the CDC feed.
+func (s *RegionServer) TailWAL(regionID string, from wal.Pos, max int) ([]wal.Entry, wal.Pos, int, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return nil, from, 0, err
+	}
+	entries, next, gap, err := region.store.TailWAL(from, max)
+	return entries, next, gap, mapStoreErr(err)
+}
+
+// WALCursor opens a retention-pinning cursor over one region's WAL. The
+// cursor is an in-process handle (it pins segments in the region's log), so
+// it is an administrative API for co-located consumers — the DB-level CDC
+// feed — rather than a remoted RPC.
+func (s *RegionServer) WALCursor(regionID string, from wal.Pos) (*wal.Cursor, error) {
+	region, err := s.region(regionID)
+	if err != nil {
+		return nil, err
+	}
+	return region.store.WALCursor(from), nil
 }
 
 // Scan returns the visible versions of store keys in [start, end) at ts.

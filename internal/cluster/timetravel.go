@@ -1,0 +1,127 @@
+package cluster
+
+// Client-side time-travel reads (DESIGN.md §13): the as-of variants of
+// Get/GetRow/Scan, answered from the MVCC versions the region stores
+// already keep. The timestamp is a point in the cluster clock's history —
+// any timestamp previously returned by Put/Delete qualifies.
+
+import (
+	"bytes"
+
+	"diffindex/internal/kv"
+)
+
+// GetAsOf reads one column of a row as it stood at timestamp ts. Unlike
+// GetAt (which answers from whatever versions remain), GetAsOf surfaces
+// lsm.ErrHistoryTrimmed when the version visible at ts may have been
+// garbage-collected by MaxVersions retention, so callers can tell "absent
+// at ts" from "history gone".
+func (cl *Client) GetAsOf(table string, row []byte, col string, ts kv.Timestamp) ([]byte, kv.Timestamp, bool, error) {
+	tr := cl.tracer.Start("get-asof", table)
+	defer cl.tracer.Finish(tr)
+	var val []byte
+	var cellTs kv.Timestamp
+	var ok bool
+	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
+		c, found, err := s.GetAsOf(ri.ID, kv.BaseKey(row, []byte(col)), ts)
+		if err != nil {
+			return err
+		}
+		if found {
+			val, cellTs, ok = c.Value, c.Ts, true
+		} else {
+			val, cellTs, ok = nil, 0, false
+		}
+		return nil
+	})
+	return val, cellTs, ok, err
+}
+
+// GetRowAsOf reads all columns of a row as they stood at timestamp ts. A
+// nil map means the row had no visible columns at ts. Columns whose as-of
+// version may have been trimmed are skipped (scan semantics); use GetAsOf
+// per column for trimmed-history detection.
+func (cl *Client) GetRowAsOf(table string, row []byte, ts kv.Timestamp) (map[string][]byte, error) {
+	tr := cl.tracer.Start("get-row-asof", table)
+	defer cl.tracer.Finish(tr)
+	prefix := kv.RowPrefix(row)
+	var cols map[string][]byte
+	err := cl.withRegion(table, row, func(ri RegionInfo, s *RegionServer) error {
+		results, err := s.ScanAsOf(ri.ID, prefix, kv.PrefixSuccessor(prefix), ts, 0)
+		if err != nil {
+			return err
+		}
+		cols = nil
+		for _, res := range results {
+			_, col, err := kv.SplitBaseKey(res.Key)
+			if err != nil {
+				return err
+			}
+			if cols == nil {
+				cols = make(map[string][]byte)
+			}
+			cols[string(col)] = res.Value
+		}
+		return nil
+	})
+	return cols, err
+}
+
+// ScanAsOf reads rows with keys in [startRow, endRow) as they stood at
+// timestamp ts, visiting regions in key order, up to limit rows (limit ≤ 0
+// = unlimited) — Scan evaluated against historical state.
+func (cl *Client) ScanAsOf(table string, startRow, endRow []byte, ts kv.Timestamp, limit int) ([]Row, error) {
+	tr := cl.tracer.Start("scan-asof", table)
+	defer cl.tracer.Finish(tr)
+	var rows []Row
+	var curKey []byte
+	var curCols map[string][]byte
+	flush := func() {
+		if curCols != nil {
+			rows = append(rows, Row{Key: curKey, Cols: curCols})
+			curKey, curCols = nil, nil
+		}
+	}
+	hitLimit := false
+	err := cl.forEachRegion(table, startRow, endRow, func(ri RegionInfo, lo, hi []byte, s *RegionServer) (bool, error) {
+		storeLo := kv.BaseDataStart
+		if len(lo) > 0 {
+			storeLo = kv.RowPrefix(lo)
+		}
+		var storeHi []byte
+		if hi != nil {
+			storeHi = kv.RowPrefix(hi)
+		}
+		results, err := s.ScanAsOf(ri.ID, storeLo, storeHi, ts, 0)
+		if err != nil {
+			return false, err
+		}
+		for _, res := range results {
+			row, col, err := kv.SplitBaseKey(res.Key)
+			if err != nil {
+				return false, err
+			}
+			if curCols == nil || !bytes.Equal(row, curKey) {
+				flush()
+				if limit > 0 && len(rows) >= limit {
+					hitLimit = true
+					return false, nil
+				}
+				curKey = append([]byte(nil), row...)
+				curCols = make(map[string][]byte)
+			}
+			curCols[string(col)] = res.Value
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !hitLimit {
+		flush()
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows, nil
+}

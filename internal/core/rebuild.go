@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"diffindex/internal/cluster"
+	"diffindex/internal/kv"
+	"diffindex/internal/wal"
+)
+
+// RebuildIndexFromLog reconstructs a global index by replaying the base
+// table's region WALs instead of scanning the base table — the
+// log-as-database recovery path (DESIGN.md §13). Where backfill reads the
+// CURRENT state through the store's read path, rebuild folds the full
+// mutation history out of the logs and derives the same state, which makes
+// it usable when the index table is suspect but the logs are intact (e.g.
+// after restoring index-table storage from scratch).
+//
+// It requires full log retention (Config.WALRetainSegments = -1 from the
+// region's creation): if any region's log has been truncated the replay
+// would silently miss history, so a retention gap is an error, never a
+// partial rebuild. Regions created by splits are covered — a split seeds
+// each child by applying the parent's live cells, and those applies land in
+// the child's own WAL.
+//
+// Entries are written through the same region-batched MultiApply path as
+// backfill, at each row's max base timestamp (same-timestamp rule, §4.3).
+// The rebuild is insert-only: it does not delete entries already present in
+// the index table, so point it at a fresh (or truncated) index table.
+// Returns the number of index entries written.
+func (m *Manager) RebuildIndexFromLog(cl *cluster.Client, table string, columns []string) (int, error) {
+	def, ok := m.catalog.Find(table, columns...)
+	if !ok {
+		return 0, fmt.Errorf("core: no index on %s%v", table, columns)
+	}
+	if def.Local {
+		return 0, fmt.Errorf("core: %s is a local index; local entries are rebuilt by region recovery, not log replay", def.Name())
+	}
+	regions, err := m.cluster.Master.RegionsOf(table)
+	if err != nil {
+		return 0, err
+	}
+
+	// Fold every region's log into per-(row, column) latest versions. A
+	// column's visible version is the newest record for its key; on a
+	// timestamp tie the tombstone wins (a tombstone at T masks every version
+	// with ts ≤ T, including a put at T itself).
+	type colVersion struct {
+		ts  kv.Timestamp
+		val []byte
+		del bool
+	}
+	rows := make(map[string]map[string]colVersion)
+	for _, ri := range regions {
+		s := m.cluster.Server(ri.Server)
+		if s == nil || s.Crashed() {
+			return 0, fmt.Errorf("core: rebuild %s: server %s for region %s is down", def.Name(), ri.Server, ri.ID)
+		}
+		pos := wal.Pos{}
+		for {
+			entries, next, gap, err := s.TailWAL(ri.ID, pos, 4096)
+			if err != nil {
+				return 0, fmt.Errorf("core: rebuild %s: tail region %s: %w", def.Name(), ri.ID, err)
+			}
+			if gap > 0 {
+				return 0, fmt.Errorf("core: rebuild %s: region %s log truncated (%d segments gone); full-log rebuild needs WALRetainSegments=-1", def.Name(), ri.ID, gap)
+			}
+			if len(entries) == 0 {
+				break
+			}
+			for _, e := range entries {
+				rec := e.Record
+				if kv.IsLocalIndexKey(rec.Key) {
+					continue // local-index entries of other indexes, not base data
+				}
+				row, col, err := kv.SplitBaseKey(rec.Key)
+				if err != nil {
+					return 0, fmt.Errorf("core: rebuild %s: region %s: %w", def.Name(), ri.ID, err)
+				}
+				cols := rows[string(row)]
+				if cols == nil {
+					cols = make(map[string]colVersion)
+					rows[string(row)] = cols
+				}
+				cur, seen := cols[string(col)]
+				switch {
+				case !seen || rec.Ts > cur.ts:
+					cols[string(col)] = colVersion{ts: rec.Ts, val: rec.Value, del: rec.Kind == kv.KindDelete}
+				case rec.Ts == cur.ts && rec.Kind == kv.KindDelete:
+					cols[string(col)] = colVersion{ts: rec.Ts, del: true}
+				}
+			}
+			pos = next
+		}
+	}
+
+	// Derive each surviving row's index entry exactly as backfill does: the
+	// visible column values and the row's max visible timestamp.
+	const rebuildChunk = 256
+	var batch []kv.Cell
+	written := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := cl.MultiApply(def.Name(), batch); err != nil {
+			return err
+		}
+		m.Counters.IndexPut.Add(int64(len(batch)))
+		written += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for row, versions := range rows {
+		cols := make(map[string][]byte, len(versions))
+		var maxTs kv.Timestamp
+		for col, v := range versions {
+			if v.del {
+				continue
+			}
+			cols[col] = v.val
+			if v.ts > maxTs {
+				maxTs = v.ts
+			}
+		}
+		if len(cols) == 0 {
+			continue // row fully deleted
+		}
+		if v, ok := indexValue(def, cols); ok {
+			batch = append(batch, kv.Cell{Key: kv.IndexKey(v, []byte(row)), Ts: maxTs, Kind: kv.KindPut})
+			if len(batch) >= rebuildChunk {
+				if err := flush(); err != nil {
+					return written, err
+				}
+			}
+		}
+	}
+	return written, flush()
+}

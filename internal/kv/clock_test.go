@@ -32,6 +32,57 @@ func TestClockObserve(t *testing.T) {
 	}
 }
 
+// TestClockObserveReplayedHistoricalTimestamps is the recovery-replay
+// regression: WAL and snapshot replay feed the clock historical timestamps
+// in log order — which is NOT globally sorted across regions, and a
+// snapshot's folded cells replay before a tail that can carry OLDER
+// timestamps from other keys. Whatever order history arrives in, the clock
+// must end at the maximum observed and never regress, so post-recovery
+// writes cannot collide with replayed versions.
+func TestClockObserveReplayedHistoricalTimestamps(t *testing.T) {
+	replayed := []Timestamp{40, 41, 55, 42, 7, 56, 3, 55, 60, 12}
+	c := NewClock(1)
+	var max Timestamp
+	for _, ts := range replayed {
+		c.Observe(ts)
+		if ts > max {
+			max = ts
+		}
+		if now := c.Now(); now < max {
+			t.Fatalf("clock regressed to %d after observing %d (max %d)", now, ts, max)
+		}
+	}
+	if ts := c.Next(); ts != max+1 {
+		t.Fatalf("first post-recovery timestamp = %d, want %d", ts, max+1)
+	}
+
+	// Concurrent replay (regions recover in parallel) races Observe against
+	// Observe and against Next; the clock must still end past everything
+	// observed (run under -race).
+	c = NewClock(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe(Timestamp(w*500 + i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			c.Next()
+		}
+	}()
+	wg.Wait()
+	if ts := c.Next(); ts <= 1999 {
+		t.Fatalf("post-replay Next() = %d, want > 1999 (max observed)", ts)
+	}
+}
+
 func TestClockConcurrentUnique(t *testing.T) {
 	c := NewClock(1)
 	const workers, perWorker = 8, 2000

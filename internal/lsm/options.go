@@ -105,6 +105,18 @@ type Options struct {
 	BlockRestartInterval int
 	// DisableScrub turns off the background integrity scrubber.
 	DisableScrub bool
+	// SnapshotInterval, when > 0, runs a periodic snapshot-in-log round
+	// (DESIGN.md §13): the WAL's sealed unflushed span is folded into a
+	// snapshot record appended back into the log, so recovery replays
+	// "latest snapshot + tail" instead of the whole retained log. 0 disables
+	// the periodic loop; SnapshotWAL still takes rounds on demand.
+	SnapshotInterval time.Duration
+	// WALRetainSegments is the log retention knob: 0 (the default) truncates
+	// freely at each flush boundary, N > 0 keeps the newest N sealed
+	// segments for CDC consumers regardless of flushes, and -1 never
+	// truncates — full log-as-database mode, required by WAL-sourced index
+	// rebuild. Live CDC cursors pin their position in addition to this knob.
+	WALRetainSegments int
 	// ScrubInterval is the pause between scrub cycles (a cycle verifies every
 	// block of every live SSTable). Defaults to 5s; short-lived stores never
 	// start a cycle.
@@ -175,4 +187,9 @@ type Stats struct {
 	// that they are.
 	CompactionErrors    int64
 	LastCompactionError string
+
+	// WALSnapshots counts snapshot-in-log rounds that wrote a snapshot
+	// record; WALSnapshotCells the total cells folded into them.
+	WALSnapshots     int64
+	WALSnapshotCells int64
 }

@@ -14,6 +14,7 @@ import (
 	"diffindex/internal/kv"
 	"diffindex/internal/memtable"
 	"diffindex/internal/metrics"
+	"diffindex/internal/snapshot"
 	"diffindex/internal/sstable"
 	"diffindex/internal/wal"
 )
@@ -111,6 +112,14 @@ type Store struct {
 
 	// Background-scrubber progress; see scrub.go.
 	scrub scrubState
+
+	// Snapshot-in-log state (DESIGN.md §13): the snapshotter folds the WAL's
+	// sealed unflushed span into snapshot records. Rounds run under flushMu,
+	// which both serializes them against flushes (pinning the flush boundary
+	// for the duration of a fold) and guards the snapshotter's own state.
+	snap                          *snapshot.Snapshotter
+	walSnapshots, walSnapshotB    *metrics.Counter
+	snapshotsTaken, snapshotCells atomic.Int64
 }
 
 // recordStage records d into h when stage metrics are enabled.
@@ -156,6 +165,8 @@ func Open(opts Options) (*Store, error) {
 		s.scrub.bytesC = reg.Counter("diffindex_scrub_bytes_total", table)
 		s.scrub.corruptionsC = reg.Counter("diffindex_scrub_corruptions_total", table)
 		s.scrub.cyclesC = reg.Counter("diffindex_scrub_cycles_total", table)
+		s.walSnapshots = reg.Counter("diffindex_wal_snapshots_total", table)
+		s.walSnapshotB = reg.Counter("diffindex_wal_snapshot_bytes_total", table)
 	}
 
 	// Open existing SSTables, newest (highest file number) first.
@@ -184,18 +195,24 @@ func Open(opts Options) (*Store, error) {
 	}
 
 	// Replay the WAL into the memtable; surface each cell to OnReplay so
-	// Diff-Index can re-enqueue index work.
-	log, err := wal.Open(opts.FS, opts.Dir+"/wal", func(rec wal.Record) {
-		c := rec.Cell()
-		s.mem.Add(c)
-		if opts.OnReplay != nil {
-			opts.OnReplay(c)
-		}
+	// Diff-Index can re-enqueue index work. Recovery replays "latest
+	// snapshot + tail": a snapshot record's folded cells stand in for the
+	// raw span it covers (DESIGN.md §13).
+	log, err := wal.OpenWith(opts.FS, opts.Dir+"/wal", wal.ReplayConfig{
+		Replay: func(rec wal.Record) {
+			c := rec.Cell()
+			s.mem.Add(c)
+			if opts.OnReplay != nil {
+				opts.OnReplay(c)
+			}
+		},
+		RetainSegments: opts.WALRetainSegments,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.log = log
+	s.snap = snapshot.NewSnapshotter(log)
 
 	if reg := opts.Metrics; reg != nil {
 		table := metrics.L("table", opts.MetricsTable)
@@ -209,6 +226,10 @@ func Open(opts Options) (*Store, error) {
 	if !opts.DisableScrub {
 		s.bg.Add(1)
 		go s.scrubLoop()
+	}
+	if opts.SnapshotInterval > 0 {
+		s.bg.Add(1)
+		go s.snapshotLoop()
 	}
 	return s, nil
 }
@@ -347,7 +368,8 @@ func (s *Store) applyBatch(cells []kv.Cell, tr *metrics.Trace) error {
 	if timed {
 		walStart = time.Now()
 	}
-	if err := log.AppendBatch(recs); err != nil {
+	pos, err := log.AppendBatchPos(recs)
+	if err != nil {
 		return err
 	}
 	var memStart time.Time
@@ -355,6 +377,9 @@ func (s *Store) applyBatch(cells []kv.Cell, tr *metrics.Trace) error {
 		d := time.Since(walStart)
 		recordStage(s.stageWAL, d)
 		tr.AddStage(metrics.StageWAL, d)
+		// The durable log position of this batch: a slow-op entry can name
+		// the exact segment@offset a stalled append landed at.
+		tr.Annotate("wal_pos", pos.String())
 		memStart = time.Now()
 	}
 	for _, c := range cells {
@@ -479,7 +504,16 @@ func (s *Store) Flush() error {
 		}
 	}
 	s.mu.Unlock()
-	if err := s.log.TruncateBefore(keepSeg); err != nil {
+	// Record the flush boundary in the log itself before truncating: recovery
+	// replays only segments ≥ the newest checkpoint, so segments retained
+	// past the boundary (CDC cursors, retention knob, log-as-database mode)
+	// are never re-applied. If the checkpoint append fails the flush still
+	// succeeded — recovery would merely replay more than necessary, and
+	// re-applied cells are identical versions the MVCC read path dedupes.
+	if err := s.log.Checkpoint(keepSeg); err != nil {
+		return err
+	}
+	if _, err := s.log.TruncateBefore(keepSeg); err != nil {
 		return err
 	}
 	s.stats.flushes.Add(1)
@@ -673,6 +707,9 @@ func (s *Store) Stats() Stats {
 		TombstonesDropped:      s.stats.tombstonesDropped.Load(),
 		CompactionErrors:       s.stats.compactionErrors.Load(),
 		LastCompactionError:    lastErr,
+
+		WALSnapshots:     s.snapshotsTaken.Load(),
+		WALSnapshotCells: s.snapshotCells.Load(),
 	}
 }
 

@@ -45,6 +45,7 @@ type Trace struct {
 
 	mu     sync.Mutex
 	stages []Stage
+	notes  map[string]string
 }
 
 // Op returns the operation name (put, get, scan, index-get, ...).
@@ -76,6 +77,39 @@ func (t *Trace) StartStage(name string) func() {
 	return func() { t.AddStage(name, time.Since(start)) }
 }
 
+// Annotate attaches a key/value note to the trace — positional context a
+// duration can't carry, like the WAL position ("wal_pos" = "segment@offset")
+// of the batch a stalled append was writing. Later values overwrite earlier
+// ones for the same key. Safe on a nil trace.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.notes == nil {
+		t.notes = make(map[string]string, 2)
+	}
+	t.notes[key] = value
+	t.mu.Unlock()
+}
+
+// Notes returns a copy of the annotations recorded so far (nil when none).
+func (t *Trace) Notes() map[string]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.notes) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(t.notes))
+	for k, v := range t.notes {
+		out[k] = v
+	}
+	return out
+}
+
 // Stages returns a copy of the stages recorded so far.
 func (t *Trace) Stages() []Stage {
 	if t == nil {
@@ -91,10 +125,11 @@ func (t *Trace) Stages() []Stage {
 // SlowOp is one entry of the slow-operation log: a completed operation with
 // its total latency and stage breakdown.
 type SlowOp struct {
-	Op     string        `json:"op"`
-	Table  string        `json:"table"`
-	Total  time.Duration `json:"total_ns"`
-	Stages []Stage       `json:"stages,omitempty"`
+	Op     string            `json:"op"`
+	Table  string            `json:"table"`
+	Total  time.Duration     `json:"total_ns"`
+	Stages []Stage           `json:"stages,omitempty"`
+	Notes  map[string]string `json:"notes,omitempty"`
 }
 
 // SlowOpLog retains the K slowest completed operations seen so far. Offer
@@ -193,7 +228,7 @@ func (tr *Tracer) Finish(t *Trace) {
 	}
 	total := time.Since(t.start)
 	tr.reg.Histogram("diffindex_op_latency_ns", L("op", t.op), L("table", t.table)).RecordDuration(total)
-	tr.slow.Offer(SlowOp{Op: t.op, Table: t.table, Total: total, Stages: t.Stages()})
+	tr.slow.Offer(SlowOp{Op: t.op, Table: t.table, Total: total, Stages: t.Stages(), Notes: t.Notes()})
 }
 
 // SlowOps returns the slowest operations recorded so far, slowest first.

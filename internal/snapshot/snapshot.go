@@ -1,0 +1,261 @@
+// Package snapshot implements snapshot-in-log storage (LogBase; the logd
+// double-buffer design): the folded contents of the WAL's sealed, unflushed
+// segment span are periodically appended back INTO the log as a single
+// snapshot record, so recovery replays "latest snapshot + tail" instead of
+// the whole retained log.
+//
+// The double-buffer discipline: a snapshot round first rolls the log, so
+// the span it is about to fold is sealed (immutable) while new appends
+// continue on the fresh active segment. The fold then reads the sealed span
+// [flushed boundary, roll boundary), deduplicates identical versions, and
+// appends one snapshot record to the active segment. Nothing blocks writers
+// beyond the instant of the roll.
+//
+// The package depends only on internal/kv; the log it drives is an
+// interface that *wal.Log satisfies structurally, which keeps the wal
+// package free to import this one for the payload codec used at recovery.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"diffindex/internal/kv"
+)
+
+// Log is the slice of *wal.Log a snapshot round needs.
+type Log interface {
+	// Roll seals the active segment and returns the new active segment ID;
+	// the sealed span to fold ends (exclusively) there.
+	Roll() (uint64, error)
+	// FlushedBoundary is the newest flush checkpoint: segments below it are
+	// durable in SSTables and must not be folded (recovery would re-apply
+	// flushed data).
+	FlushedBoundary() uint64
+	// Position reports the active segment and its append offset; the
+	// snapshotter skips rounds when it has not moved.
+	Position() (seg uint64, off int64)
+	// Pin guards the span being folded against concurrent truncation.
+	Pin(seg uint64) func()
+	// ReadSealed streams the data cells of sealed segments in [from, to) in
+	// log order, skipping meta records and torn tails.
+	ReadSealed(from, to uint64, fn func(kv.Cell)) error
+	// AppendSnapshotPayload durably appends a snapshot meta record.
+	AppendSnapshotPayload(payload []byte) error
+}
+
+// Stats describes the outcome of one snapshot round.
+type Stats struct {
+	// Taken reports whether a snapshot record was written. A round that
+	// found nothing to fold (or nothing new since the last round) is
+	// skipped, not an error.
+	Taken bool
+	// From and To bound the folded segment span [From, To).
+	From, To uint64
+	// Cells is the number of folded cells; Bytes the encoded payload size.
+	Cells int
+	Bytes int
+}
+
+// Take runs one double-buffer snapshot round: roll, fold the sealed
+// unflushed span, append the snapshot record. Callers serialize Take
+// against flushes (the LSM store holds its flush mutex), which pins the
+// flush boundary for the duration of the round.
+func Take(l Log) (Stats, error) {
+	from := l.FlushedBoundary()
+	unpin := l.Pin(from)
+	defer unpin()
+	to, err := l.Roll()
+	if err != nil {
+		return Stats{}, fmt.Errorf("snapshot: roll: %w", err)
+	}
+	var cells []kv.Cell
+	if err := l.ReadSealed(from, to, func(c kv.Cell) {
+		cells = append(cells, c)
+	}); err != nil {
+		return Stats{}, fmt.Errorf("snapshot: fold [%d,%d): %w", from, to, err)
+	}
+	cells = dedupe(cells)
+	if len(cells) == 0 {
+		return Stats{From: from, To: to}, nil
+	}
+	payload := EncodePayload(from, to, cells)
+	if err := l.AppendSnapshotPayload(payload); err != nil {
+		return Stats{}, fmt.Errorf("snapshot: append: %w", err)
+	}
+	return Stats{Taken: true, From: from, To: to, Cells: len(cells), Bytes: len(payload)}, nil
+}
+
+// dedupe drops all but the last occurrence of each (key, ts, kind) version,
+// in place, preserving log order. Replay applies cells through the
+// memtable's insert-or-overwrite set, so duplicates are harmless but bloat
+// the payload (retried batches, re-folded spans).
+func dedupe(cells []kv.Cell) []kv.Cell {
+	if len(cells) < 2 {
+		return cells
+	}
+	type version struct {
+		key  string
+		ts   kv.Timestamp
+		kind kv.Kind
+	}
+	seen := make(map[version]int, len(cells))
+	out := cells[:0]
+	for _, c := range cells {
+		v := version{key: string(c.Key), ts: c.Ts, kind: c.Kind}
+		if i, ok := seen[v]; ok {
+			out[i] = c
+			continue
+		}
+		seen[v] = len(out)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Snapshotter runs periodic snapshot rounds, skipping rounds while the log
+// has not received new appends (otherwise every idle interval would roll a
+// fresh segment and re-fold the same span forever).
+type Snapshotter struct {
+	l        Log
+	lastSeg  uint64
+	lastOff  int64
+	haveLast bool
+}
+
+// NewSnapshotter returns a Snapshotter over l.
+func NewSnapshotter(l Log) *Snapshotter {
+	return &Snapshotter{l: l}
+}
+
+// Maybe runs Take if the log has moved since the last call. Callers
+// serialize Maybe against flushes, same as Take.
+func (s *Snapshotter) Maybe() (Stats, error) {
+	seg, off := s.l.Position()
+	if s.haveLast && seg == s.lastSeg && off == s.lastOff {
+		return Stats{}, nil
+	}
+	st, err := Take(s.l)
+	if err != nil {
+		return st, err
+	}
+	s.lastSeg, s.lastOff = s.l.Position()
+	s.haveLast = true
+	return st, nil
+}
+
+// Payload format (the value of a wal snapshot record):
+//
+//	version(1) · from(uvarint) · to(uvarint) · count(uvarint) ·
+//	count × [ ts(8 LE) · kind(1) · keyLen(uvarint) · key · valLen(uvarint) · value ]
+//
+// The cell encoding deliberately mirrors the WAL's own payload encoding so
+// a reader of one can read the other.
+const payloadVersion = 1
+
+// EncodePayload encodes a folded span into a snapshot record value.
+func EncodePayload(from, to uint64, cells []kv.Cell) []byte {
+	size := 1 + 3*binary.MaxVarintLen64
+	for _, c := range cells {
+		size += 9 + 2*binary.MaxVarintLen64 + len(c.Key) + len(c.Value)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, payloadVersion)
+	out = binary.AppendUvarint(out, from)
+	out = binary.AppendUvarint(out, to)
+	out = binary.AppendUvarint(out, uint64(len(cells)))
+	var ts [8]byte
+	for _, c := range cells {
+		binary.LittleEndian.PutUint64(ts[:], uint64(c.Ts))
+		out = append(out, ts[:]...)
+		out = append(out, byte(c.Kind))
+		out = binary.AppendUvarint(out, uint64(len(c.Key)))
+		out = append(out, c.Key...)
+		out = binary.AppendUvarint(out, uint64(len(c.Value)))
+		out = append(out, c.Value...)
+	}
+	return out
+}
+
+// Snapshot is a decoded snapshot payload.
+type Snapshot struct {
+	From, To uint64
+	Cells    []kv.Cell
+}
+
+var errTruncated = errors.New("snapshot: truncated payload")
+
+// DecodeHeader decodes only the span bounds of a payload — the cheap read
+// recovery's index scan performs on every snapshot candidate.
+func DecodeHeader(payload []byte) (from, to uint64, err error) {
+	rest, from, to, _, err := decodeHeader(payload)
+	_ = rest
+	return from, to, err
+}
+
+func decodeHeader(payload []byte) (rest []byte, from, to, count uint64, err error) {
+	if len(payload) < 1 || payload[0] != payloadVersion {
+		return nil, 0, 0, 0, fmt.Errorf("snapshot: unsupported payload version")
+	}
+	rest = payload[1:]
+	var n int
+	from, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, 0, 0, 0, errTruncated
+	}
+	rest = rest[n:]
+	to, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, 0, 0, 0, errTruncated
+	}
+	rest = rest[n:]
+	count, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, 0, 0, 0, errTruncated
+	}
+	return rest[n:], from, to, count, nil
+}
+
+// Decode decodes a full snapshot payload.
+func Decode(payload []byte) (Snapshot, error) {
+	rest, from, to, count, err := decodeHeader(payload)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s := Snapshot{From: from, To: to}
+	if count > uint64(len(rest)) { // every cell needs ≥ 11 bytes; cheap bound
+		return Snapshot{}, errTruncated
+	}
+	s.Cells = make([]kv.Cell, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 9 {
+			return Snapshot{}, errTruncated
+		}
+		var c kv.Cell
+		c.Ts = kv.Timestamp(binary.LittleEndian.Uint64(rest[:8]))
+		c.Kind = kv.Kind(rest[8])
+		rest = rest[9:]
+		keyLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < keyLen {
+			return Snapshot{}, errTruncated
+		}
+		rest = rest[n:]
+		c.Key = append([]byte(nil), rest[:keyLen]...)
+		rest = rest[keyLen:]
+		valLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < valLen {
+			return Snapshot{}, errTruncated
+		}
+		rest = rest[n:]
+		if valLen > 0 {
+			c.Value = append([]byte(nil), rest[:valLen]...)
+		}
+		rest = rest[valLen:]
+		s.Cells = append(s.Cells, c)
+	}
+	if len(rest) != 0 {
+		return Snapshot{}, errors.New("snapshot: trailing bytes in payload")
+	}
+	return s, nil
+}

@@ -1,0 +1,232 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"diffindex/internal/kv"
+)
+
+// fakeLog is an in-memory snapshot.Log: segments of cells, a flush
+// boundary, and the appended snapshot payloads.
+type fakeLog struct {
+	segs     map[uint64][]kv.Cell
+	active   uint64
+	off      int64
+	boundary uint64
+	pins     []uint64
+	payloads [][]byte
+	appendEr error
+}
+
+func newFakeLog() *fakeLog {
+	return &fakeLog{segs: map[uint64][]kv.Cell{}, active: 1, boundary: 1}
+}
+
+func (f *fakeLog) add(c kv.Cell) {
+	f.segs[f.active] = append(f.segs[f.active], c)
+	f.off += int64(len(c.Key) + len(c.Value) + 9)
+}
+
+func (f *fakeLog) Roll() (uint64, error) {
+	f.active++
+	f.off = 0
+	return f.active, nil
+}
+func (f *fakeLog) FlushedBoundary() uint64   { return f.boundary }
+func (f *fakeLog) Position() (uint64, int64) { return f.active, f.off }
+func (f *fakeLog) Pin(seg uint64) func()     { f.pins = append(f.pins, seg); return func() {} }
+func (f *fakeLog) ReadSealed(from, to uint64, fn func(kv.Cell)) error {
+	for s := from; s < to; s++ {
+		for _, c := range f.segs[s] {
+			fn(c)
+		}
+	}
+	return nil
+}
+func (f *fakeLog) AppendSnapshotPayload(p []byte) error {
+	if f.appendEr != nil {
+		return f.appendEr
+	}
+	f.payloads = append(f.payloads, p)
+	f.off += int64(len(p))
+	return nil
+}
+
+func cell(key string, ts int, kind kv.Kind, val string) kv.Cell {
+	c := kv.Cell{Key: []byte(key), Ts: kv.Timestamp(ts), Kind: kind}
+	if val != "" {
+		c.Value = []byte(val)
+	}
+	return c
+}
+
+// TestTakeFoldsSealedSpan: one round rolls, folds [boundary, newActive) and
+// appends a payload that decodes back to exactly the folded cells.
+func TestTakeFoldsSealedSpan(t *testing.T) {
+	f := newFakeLog()
+	f.add(cell("a", 1, kv.KindPut, "v1"))
+	f.add(cell("b", 2, kv.KindPut, "v2"))
+	f.Roll()
+	f.add(cell("a", 3, kv.KindDelete, ""))
+
+	st, err := Take(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Taken || st.From != 1 || st.To != 3 || st.Cells != 3 {
+		t.Fatalf("stats = %+v, want Taken over [1,3) with 3 cells", st)
+	}
+	if len(f.pins) != 1 || f.pins[0] != 1 {
+		t.Errorf("pins = %v, want the fold's start segment pinned", f.pins)
+	}
+	if len(f.payloads) != 1 {
+		t.Fatalf("appended %d payloads, want 1", len(f.payloads))
+	}
+	snap, err := Decode(f.payloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.From != 1 || snap.To != 3 || len(snap.Cells) != 3 {
+		t.Fatalf("decoded %+v, want [1,3) with 3 cells", snap)
+	}
+	if string(snap.Cells[0].Key) != "a" || string(snap.Cells[0].Value) != "v1" {
+		t.Errorf("first folded cell = %+v", snap.Cells[0])
+	}
+	if snap.Cells[2].Kind != kv.KindDelete || snap.Cells[2].Value != nil {
+		t.Errorf("tombstone round-trip = %+v", snap.Cells[2])
+	}
+}
+
+// TestTakeSkipsEmptySpan: a round over a span with nothing to fold writes
+// no payload and reports Taken=false.
+func TestTakeSkipsEmptySpan(t *testing.T) {
+	f := newFakeLog()
+	st, err := Take(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Taken || len(f.payloads) != 0 {
+		t.Fatalf("empty span produced a snapshot: %+v", st)
+	}
+}
+
+// TestSnapshotterSkipsIdleRounds: Maybe only takes a round when the log has
+// moved since the last one, so an idle store does not roll segments forever.
+func TestSnapshotterSkipsIdleRounds(t *testing.T) {
+	f := newFakeLog()
+	f.add(cell("a", 1, kv.KindPut, "v"))
+	s := NewSnapshotter(f)
+	st, err := s.Maybe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Taken {
+		t.Fatal("first round with pending data was skipped")
+	}
+	rolls := f.active
+	for i := 0; i < 3; i++ {
+		st, err = s.Maybe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Taken {
+			t.Fatal("idle round took a snapshot")
+		}
+	}
+	if f.active != rolls {
+		t.Errorf("idle rounds rolled segments: %d → %d", rolls, f.active)
+	}
+	// New appends re-arm the next round.
+	f.add(cell("b", 2, kv.KindPut, "v"))
+	st, err = s.Maybe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Taken {
+		t.Error("round after new appends was skipped")
+	}
+}
+
+// TestTakeAppendFailureSurfaces: an append failure is the caller's to see —
+// no stats, no phantom payload.
+func TestTakeAppendFailureSurfaces(t *testing.T) {
+	f := newFakeLog()
+	f.add(cell("a", 1, kv.KindPut, "v"))
+	f.appendEr = fmt.Errorf("torn write")
+	if _, err := Take(f); err == nil {
+		t.Fatal("Take swallowed the append failure")
+	}
+	if len(f.payloads) != 0 {
+		t.Fatal("failed round left a payload behind")
+	}
+}
+
+// TestDedupeKeepsLastOccurrence: duplicate (key, ts, kind) versions
+// (retried batches, re-folded spans) collapse to the last occurrence, in
+// log order; distinct versions all survive.
+func TestDedupeKeepsLastOccurrence(t *testing.T) {
+	in := []kv.Cell{
+		cell("a", 1, kv.KindPut, "old"),
+		cell("b", 2, kv.KindPut, "b1"),
+		cell("a", 1, kv.KindPut, "new"), // same version, later occurrence wins
+		cell("a", 2, kv.KindPut, "a2"),  // distinct ts: kept
+		cell("a", 2, kv.KindDelete, ""), // distinct kind: kept
+	}
+	out := dedupe(in)
+	if len(out) != 4 {
+		t.Fatalf("dedupe kept %d cells, want 4", len(out))
+	}
+	if string(out[0].Value) != "new" {
+		t.Errorf("dedupe kept %q for the duplicated version, want the last occurrence", out[0].Value)
+	}
+	if string(out[1].Key) != "b" || out[2].Ts != 2 || out[3].Kind != kv.KindDelete {
+		t.Errorf("dedupe reordered or dropped distinct versions: %+v", out)
+	}
+}
+
+// TestPayloadRoundTripAndErrors: the codec round-trips cells exactly and
+// rejects truncations, bad versions and trailing garbage.
+func TestPayloadRoundTripAndErrors(t *testing.T) {
+	cells := []kv.Cell{
+		cell("k1", 10, kv.KindPut, "hello"),
+		cell("k2", 11, kv.KindDelete, ""),
+		{Key: []byte{0x00, 0xFF}, Ts: 12, Kind: kv.KindPut, Value: bytes.Repeat([]byte{7}, 300)},
+	}
+	payload := EncodePayload(4, 9, cells)
+
+	from, to, err := DecodeHeader(payload)
+	if err != nil || from != 4 || to != 9 {
+		t.Fatalf("DecodeHeader = (%d, %d, %v), want (4, 9, nil)", from, to, err)
+	}
+	snap, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.From != 4 || snap.To != 9 || len(snap.Cells) != 3 {
+		t.Fatalf("decoded %+v", snap)
+	}
+	for i := range cells {
+		got, want := snap.Cells[i], cells[i]
+		if !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) ||
+			got.Ts != want.Ts || got.Kind != want.Kind {
+			t.Errorf("cell %d: got %+v, want %+v", i, got, want)
+		}
+	}
+
+	if _, err := Decode([]byte{}); err == nil {
+		t.Error("Decode accepted an empty payload")
+	}
+	if _, err := Decode([]byte{99, 1, 2, 3}); err == nil {
+		t.Error("Decode accepted a bad version byte")
+	}
+	for cut := 1; cut < len(payload); cut += 7 {
+		if _, err := Decode(payload[:cut]); err == nil {
+			t.Errorf("Decode accepted a payload truncated to %d bytes", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), payload...), 0xAB)); err == nil {
+		t.Error("Decode accepted trailing bytes")
+	}
+}

@@ -6,6 +6,22 @@
 // SSTable is durable every earlier segment is deleted. Diff-Index piggybacks
 // on this exact mechanism — the drain-AUQ-before-flush rule makes the WAL
 // act as the log for both the memtable and the asynchronous update queue.
+//
+// Beyond data records the log carries two meta record kinds that turn it
+// into the system's source of truth (LogBase's "log as database"):
+//
+//   - checkpoint records, appended by each flush, carry the flush boundary:
+//     every record in a segment with ID < the boundary is durable in
+//     SSTables. Recovery replays only segments at or past the newest
+//     boundary, so retained (not yet truncated) history is never re-applied.
+//   - snapshot records, appended by internal/snapshot's double-buffer
+//     discipline, fold the sealed unflushed span [from, to) into one record;
+//     recovery replays "latest snapshot + tail" instead of the raw span.
+//
+// Positions. A record's durable position — its sequence number — is the
+// pair (segment ID, byte offset); Pos values order records exactly as
+// replay delivers them and are resumable: TailLog reads forward from any
+// previously returned position, which is what the CDC feed checkpoints.
 package wal
 
 import (
@@ -21,10 +37,12 @@ import (
 	"time"
 
 	"diffindex/internal/kv"
+	"diffindex/internal/snapshot"
 	"diffindex/internal/vfs"
 )
 
-// Record is one durable log entry: a versioned write to a region.
+// Record is one durable log entry: a versioned write to a region, or (for
+// Kind ≥ KindCheckpoint) a meta record that never reaches the memtable.
 type Record struct {
 	Key   []byte
 	Value []byte
@@ -32,10 +50,45 @@ type Record struct {
 	Kind  kv.Kind
 }
 
-// Cell converts the record to its cell form.
+// Meta record kinds. They live in the same kind byte as kv.KindPut/Delete
+// but above the data range, so replay and tailing can separate them without
+// a second framing layer. Meta records are never surfaced to OnReplay.
+const (
+	// KindCheckpoint marks a flush boundary: its value is the 8-byte LE
+	// segment ID below which every record is durable in SSTables.
+	KindCheckpoint kv.Kind = 0x10
+	// KindSnapshot carries a snapshot payload (see internal/snapshot):
+	// the folded cells of the sealed, unflushed segment span [from, to).
+	KindSnapshot kv.Kind = 0x11
+)
+
+// IsMeta reports whether a record kind is a meta kind (checkpoint or
+// snapshot) rather than a data cell.
+func IsMeta(k kv.Kind) bool { return k >= KindCheckpoint }
+
+// Cell converts a data record to its cell form.
 func (r Record) Cell() kv.Cell {
 	return kv.Cell{Key: r.Key, Value: r.Value, Ts: r.Ts, Kind: r.Kind}
 }
+
+// Pos is a record's durable log position: its segment ID and byte offset —
+// the per-segment sequence number CDC cursors resume from. Positions
+// compare in replay order.
+type Pos struct {
+	Seg uint64
+	Off int64
+}
+
+// Less orders positions in replay order.
+func (p Pos) Less(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// String renders "segment@offset", the form slow-op logs and tools print.
+func (p Pos) String() string { return fmt.Sprintf("%d@%d", p.Seg, p.Off) }
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
@@ -51,6 +104,7 @@ type Log struct {
 	mu     sync.Mutex
 	seg    vfs.File // active segment
 	segID  uint64
+	segOff int64 // bytes appended to the active segment
 	closed bool
 	// tainted marks the active segment as having a torn or unsynced tail
 	// after a failed append: replay stops at the first bad record, so
@@ -59,7 +113,20 @@ type Log struct {
 	// independently, so records before the tear and in later segments
 	// survive).
 	tainted bool
-	obs     func(recs, bytes int, d time.Duration)
+	// flushed is the current flush boundary: segments with ID < flushed are
+	// durable in SSTables (recovered from the newest checkpoint record,
+	// advanced by Checkpoint).
+	flushed uint64
+	// retain is the retention knob: 0 truncates freely at the flush
+	// boundary, N > 0 keeps the newest N sealed segments regardless, and
+	// -1 never truncates (log-as-database mode, required by WAL-sourced
+	// index rebuild).
+	retain int
+	// pins holds per-segment retention pin counts: TruncateBefore never
+	// removes a segment ≥ the lowest pinned ID. Cursors pin their read
+	// position; a snapshot fold pins its span while it reads.
+	pins map[uint64]int
+	obs  func(recs, bytes int, d time.Duration)
 }
 
 // SetObserver installs a callback invoked after every durable append with the
@@ -70,6 +137,14 @@ type Log struct {
 func (l *Log) SetObserver(fn func(recs, bytes int, d time.Duration)) {
 	l.mu.Lock()
 	l.obs = fn
+	l.mu.Unlock()
+}
+
+// SetRetention sets the segment-retention knob (see Log.retain). Safe to
+// call at any time; it affects subsequent TruncateBefore calls.
+func (l *Log) SetRetention(n int) {
+	l.mu.Lock()
+	l.retain = n
 	l.mu.Unlock()
 }
 
@@ -90,11 +165,41 @@ func parseSegmentID(dir, name string) (uint64, bool) {
 	return id, true
 }
 
-// Open replays every existing segment under dir in ID order, invoking replay
-// for each intact record, then opens a fresh active segment for appends.
-// Replay stops at the first torn or corrupt record in a segment (data after
-// a torn write was never acknowledged, so dropping it is correct).
+// ReplayConfig configures OpenWith.
+type ReplayConfig struct {
+	// Replay, when non-nil, receives every recovered data record: the
+	// chosen snapshot's folded cells first (if any), then the raw tail.
+	Replay func(Record)
+	// DisableSnapshots ignores snapshot records entirely and replays the
+	// raw records from the flush boundary — the full-replay baseline the
+	// chaos harness and the recovery benchmark compare against. State is
+	// identical as long as the raw segments a snapshot covers have not
+	// been truncated (they never are while the snapshot is current: a
+	// snapshot only covers segments at or past the flush boundary).
+	DisableSnapshots bool
+	// RetainSegments seeds the retention knob (see SetRetention).
+	RetainSegments int
+}
+
+// Open replays every recoverable record under dir in log order, invoking
+// replay for each intact data record, then opens a fresh active segment for
+// appends. Replay stops at the first torn or corrupt record in a segment
+// (data after a torn write was never acknowledged, so dropping it is
+// correct). Recovery honors meta records: it starts at the newest flush
+// checkpoint and substitutes the newest usable snapshot for the raw span it
+// covers ("latest snapshot + tail").
 func Open(fs vfs.FS, dir string, replay func(Record)) (*Log, error) {
+	return OpenWith(fs, dir, ReplayConfig{Replay: replay})
+}
+
+// snapCand is a snapshot record located by the recovery index scan.
+type snapCand struct {
+	pos      Pos
+	from, to uint64
+}
+
+// OpenWith is Open with explicit replay configuration.
+func OpenWith(fs vfs.FS, dir string, cfg ReplayConfig) (*Log, error) {
 	names, err := fs.List(dir + "/")
 	if err != nil {
 		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
@@ -107,19 +212,117 @@ func Open(fs vfs.FS, dir string, replay func(Record)) (*Log, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
+	// Pass 1 — index scan: find the newest flush boundary and every intact
+	// snapshot record, reading only frame headers plus the (CRC-verified)
+	// payloads of meta frames.
+	var (
+		boundary uint64
+		cands    []snapCand
+	)
+	for _, id := range ids {
+		if err := skimSegment(fs, segmentName(dir, id), func(off int64, kind kv.Kind, payload func() ([]byte, bool)) {
+			switch kind {
+			case KindCheckpoint:
+				if p, ok := payload(); ok {
+					if rec, err := decodePayload(p); err == nil && len(rec.Value) == 8 {
+						if b := binary.LittleEndian.Uint64(rec.Value); b > boundary {
+							boundary = b
+						}
+					}
+				}
+			case KindSnapshot:
+				if p, ok := payload(); ok {
+					if rec, err := decodePayload(p); err == nil {
+						if from, to, err := snapshot.DecodeHeader(rec.Value); err == nil {
+							cands = append(cands, snapCand{pos: Pos{Seg: id, Off: off}, from: from, to: to})
+						}
+					}
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pick the newest snapshot whose span starts at or past the flush
+	// boundary: anything earlier would re-apply flushed data.
+	var snap *snapCand
+	if !cfg.DisableSnapshots {
+		for i := len(cands) - 1; i >= 0; i-- {
+			if cands[i].from >= boundary {
+				snap = &cands[i]
+				break
+			}
+		}
+	}
+
+	// Pass 2 — replay: the chosen snapshot's folded cells stand in for the
+	// raw records of [snap.from, snap.to); the raw tail (segments ≥ the
+	// snapshot's upper bound, or ≥ the flush boundary when no snapshot is
+	// usable) replays as before.
+	start := boundary
+	if snap != nil {
+		ok, err := replaySnapshot(fs, dir, *snap, cfg.Replay)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if snap.to > start {
+				start = snap.to
+			}
+		}
+	}
 	var maxID uint64
 	for _, id := range ids {
-		if err := replaySegment(fs, segmentName(dir, id), replay); err != nil {
-			return nil, err
+		if id >= start {
+			if err := replaySegment(fs, segmentName(dir, id), cfg.Replay); err != nil {
+				return nil, err
+			}
 		}
 		maxID = id
 	}
 
-	l := &Log{fs: fs, dir: dir, segID: maxID + 1}
+	l := &Log{
+		fs:      fs,
+		dir:     dir,
+		segID:   maxID + 1,
+		flushed: boundary,
+		retain:  cfg.RetainSegments,
+		pins:    make(map[uint64]int),
+	}
 	if err := l.openSegment(); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// replaySnapshot re-reads one snapshot frame, verifies it end to end and
+// emits its folded cells. ok is false when the frame fails verification
+// (recovery then falls back to the raw records, which are still on disk).
+func replaySnapshot(fs vfs.FS, dir string, cand snapCand, replay func(Record)) (bool, error) {
+	f, err := fs.Open(segmentName(dir, cand.pos.Seg))
+	if err != nil {
+		return false, fmt.Errorf("wal: open snapshot segment: %w", err)
+	}
+	defer f.Close()
+	payload, _, ok, err := readFrame(f, cand.pos.Off)
+	if err != nil || !ok {
+		return false, err
+	}
+	rec, err := decodePayload(payload)
+	if err != nil || rec.Kind != KindSnapshot {
+		return false, nil
+	}
+	snapRecs, err := snapshot.Decode(rec.Value)
+	if err != nil {
+		return false, nil
+	}
+	if replay != nil {
+		for _, c := range snapRecs.Cells {
+			replay(Record{Key: c.Key, Value: c.Value, Ts: c.Ts, Kind: c.Kind})
+		}
+	}
+	return true, nil
 }
 
 func (l *Log) openSegment() error {
@@ -128,6 +331,7 @@ func (l *Log) openSegment() error {
 		return fmt.Errorf("wal: create segment %s: %w", segmentName(l.dir, l.segID), err)
 	}
 	l.seg = f
+	l.segOff = 0
 	l.tainted = false
 	return nil
 }
@@ -181,6 +385,34 @@ func decodePayload(payload []byte) (Record, error) {
 	return r, nil
 }
 
+// readFrame reads and CRC-verifies the frame at off. ok is false at a clean
+// end, torn tail or checksum mismatch (replay stops there); err reports
+// genuine I/O failures only.
+func readFrame(f vfs.File, off int64) (payload []byte, next int64, ok bool, err error) {
+	header := make([]byte, 8)
+	if _, err := f.ReadAt(header, off); err != nil {
+		if err == io.EOF {
+			return nil, off, false, nil
+		}
+		return nil, off, false, fmt.Errorf("wal: read @%d: %w", off, err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(header[0:4])
+	payloadLen := binary.LittleEndian.Uint32(header[4:8])
+	payload = make([]byte, payloadLen)
+	if _, err := f.ReadAt(payload, off+8); err != nil {
+		if err == io.EOF {
+			return nil, off, false, nil
+		}
+		return nil, off, false, fmt.Errorf("wal: read @%d: %w", off+8, err)
+	}
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return nil, off, false, nil
+	}
+	return payload, off + 8 + int64(payloadLen), true, nil
+}
+
+// replaySegment replays one segment's intact data records, skipping meta
+// records, stopping at the first torn or corrupt frame.
 func replaySegment(fs vfs.FS, name string, replay func(Record)) error {
 	f, err := fs.Open(name)
 	if err != nil {
@@ -189,32 +421,72 @@ func replaySegment(fs vfs.FS, name string, replay func(Record)) error {
 	defer f.Close()
 
 	var off int64
-	header := make([]byte, 8)
 	for {
-		if _, err := f.ReadAt(header, off); err != nil {
-			if err == io.EOF {
-				return nil // clean end, or torn header: stop
-			}
-			return fmt.Errorf("wal: read %s@%d: %w", name, off, err)
+		payload, next, ok, err := readFrame(f, off)
+		if err != nil {
+			return fmt.Errorf("wal: %s: %w", name, err)
 		}
-		wantCRC := binary.LittleEndian.Uint32(header[0:4])
-		payloadLen := binary.LittleEndian.Uint32(header[4:8])
-		payload := make([]byte, payloadLen)
-		if _, err := f.ReadAt(payload, off+8); err != nil {
-			if err == io.EOF {
-				return nil // torn payload: stop replay here
-			}
-			return fmt.Errorf("wal: read %s@%d: %w", name, off+8, err)
-		}
-		if crc32.Checksum(payload, crcTable) != wantCRC {
-			return nil // corrupt tail: stop replay here
+		if !ok {
+			return nil // clean end or torn/corrupt tail: stop
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
 			return nil // corrupt but checksum-valid payloads should not happen; stop
 		}
-		replay(rec)
-		off += 8 + int64(payloadLen)
+		if !IsMeta(rec.Kind) && replay != nil {
+			replay(rec)
+		}
+		off = next
+	}
+}
+
+// maxSanePayload bounds the payload length the header-only skim scan trusts
+// before reading the (possibly garbage) frame it describes.
+const maxSanePayload = 1 << 30
+
+// skimSegment walks a segment reading only frame headers plus one kind
+// byte, calling fn for every plausibly framed record. Data frames are NOT
+// checksum-verified here (the replay pass is authoritative for them); fn's
+// payload thunk reads and CRC-verifies the full payload on demand, which
+// pass 1 does only for the rare meta frames it must trust.
+func skimSegment(fs vfs.FS, name string, fn func(off int64, kind kv.Kind, payload func() ([]byte, bool))) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", name, err)
+	}
+	defer f.Close()
+
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("wal: size %s: %w", name, err)
+	}
+	var off int64
+	header := make([]byte, 8)
+	kindBuf := make([]byte, 1)
+	for {
+		if _, err := f.ReadAt(header, off); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("wal: read %s@%d: %w", name, off, err)
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(header[4:8]))
+		if payloadLen < 9 || payloadLen > maxSanePayload || off+8+payloadLen > size {
+			return nil // torn or implausible tail: stop skimming
+		}
+		// The kind byte sits at payload offset 8 (after the timestamp).
+		if _, err := f.ReadAt(kindBuf, off+8+8); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("wal: read %s@%d: %w", name, off+16, err)
+		}
+		frameOff := off
+		fn(frameOff, kv.Kind(kindBuf[0]), func() ([]byte, bool) {
+			payload, _, ok, err := readFrame(f, frameOff)
+			return payload, ok && err == nil
+		})
+		off += 8 + payloadLen
 	}
 }
 
@@ -222,11 +494,20 @@ func replaySegment(fs vfs.FS, name string, replay func(Record)) error {
 // durability point of a put in §2.2). It is a single-record AppendBatch;
 // every append goes through the same group-commit path.
 func (l *Log) Append(r Record) error {
-	return l.AppendBatch([]Record{r})
+	_, err := l.AppendBatchPos([]Record{r})
+	return err
 }
 
 // AppendBatch appends several records with a single sync, amortizing the
 // commit cost the way HBase group-commits WAL edits.
+func (l *Log) AppendBatch(recs []Record) error {
+	_, err := l.AppendBatchPos(recs)
+	return err
+}
+
+// AppendBatchPos is AppendBatch returning the durable position of the
+// batch's first record — the sequence number trace contexts attach so a
+// slow-op log can name the exact log position of a stalled append.
 //
 // A failed write or sync FAILS the append — the caller must not ack the
 // batch — and taints the active segment: the next append first rolls to a
@@ -234,9 +515,9 @@ func (l *Log) Append(r Record) error {
 // records at replay. Errors carry the segment path so injected disk faults
 // (vfs.FaultFS) surface as diagnosable failures at the region-server
 // boundary.
-func (l *Log) AppendBatch(recs []Record) error {
+func (l *Log) AppendBatchPos(recs []Record) (Pos, error) {
 	if len(recs) == 0 {
-		return nil
+		return Pos{}, nil
 	}
 	var buf []byte
 	for _, r := range recs {
@@ -244,12 +525,18 @@ func (l *Log) AppendBatch(recs []Record) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	pos, err := l.appendLocked(buf, len(recs))
+	return pos, err
+}
+
+// appendLocked writes and syncs pre-encoded frames. Callers hold l.mu.
+func (l *Log) appendLocked(buf []byte, recs int) (Pos, error) {
 	if l.closed {
-		return ErrClosed
+		return Pos{}, ErrClosed
 	}
 	if l.tainted {
 		if err := l.rollLocked(); err != nil {
-			return err
+			return Pos{}, err
 		}
 	}
 	var start time.Time
@@ -257,20 +544,86 @@ func (l *Log) AppendBatch(recs []Record) error {
 		start = time.Now()
 	}
 	seg := segmentName(l.dir, l.segID)
+	pos := Pos{Seg: l.segID, Off: l.segOff}
 	if _, err := l.seg.Write(buf); err != nil {
 		l.tainted = true
-		return fmt.Errorf("wal: append %s: %w", seg, err)
+		return Pos{}, fmt.Errorf("wal: append %s: %w", seg, err)
 	}
 	if err := l.seg.Sync(); err != nil {
 		// The bytes may or may not be durable; the record was not acked, so
 		// the safe treatment is the same as a torn write.
 		l.tainted = true
-		return fmt.Errorf("wal: sync %s: %w", seg, err)
+		return Pos{}, fmt.Errorf("wal: sync %s: %w", seg, err)
 	}
+	l.segOff += int64(len(buf))
 	if l.obs != nil {
-		l.obs(len(recs), len(buf), time.Since(start))
+		l.obs(recs, len(buf), time.Since(start))
+	}
+	return pos, nil
+}
+
+// Checkpoint durably appends a flush-boundary meta record: every record in
+// a segment with ID < boundary is now durable in SSTables. Recovery replays
+// only from the newest boundary, so segments retained past it (for CDC or
+// log-as-database history) are never re-applied.
+func (l *Log) Checkpoint(boundary uint64) error {
+	var val [8]byte
+	binary.LittleEndian.PutUint64(val[:], boundary)
+	buf := encodeRecord(Record{Kind: KindCheckpoint, Value: val[:]})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.appendLocked(buf, 1); err != nil {
+		return err
+	}
+	if boundary > l.flushed {
+		l.flushed = boundary
 	}
 	return nil
+}
+
+// FlushedBoundary returns the current flush boundary: segments with ID
+// below it are durable in SSTables.
+func (l *Log) FlushedBoundary() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// AppendSnapshotPayload durably appends a snapshot meta record carrying an
+// internal/snapshot payload (the folded cells of a sealed segment span).
+func (l *Log) AppendSnapshotPayload(payload []byte) error {
+	buf := encodeRecord(Record{Kind: KindSnapshot, Value: payload})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.appendLocked(buf, 1)
+	return err
+}
+
+// Position returns the active segment ID and its append offset — the
+// position the next record will be written at.
+func (l *Log) Position() (seg uint64, off int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segID, l.segOff
+}
+
+// Pin prevents TruncateBefore from removing segments with ID ≥ seg until
+// the returned release function is called. CDC cursors pin their read
+// position; snapshot folds pin the span they are reading.
+func (l *Log) Pin(seg uint64) func() {
+	l.mu.Lock()
+	l.pins[seg]++
+	l.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			if l.pins[seg]--; l.pins[seg] <= 0 {
+				delete(l.pins, seg)
+			}
+			l.mu.Unlock()
+		})
+	}
 }
 
 // rollLocked closes the active segment and opens the next one. Callers hold
@@ -299,26 +652,54 @@ func (l *Log) Roll() (uint64, error) {
 	return l.segID, nil
 }
 
-// TruncateBefore deletes every segment with ID < keepID — the roll-forward
-// step after a successful flush (§5.3).
-func (l *Log) TruncateBefore(keepID uint64) error {
+// TruncateBefore deletes segments with ID < keepID — the roll-forward step
+// after a successful flush (§5.3) — and returns how many segments it
+// actually removed. The retention guard lowers the effective bound: pinned
+// segments (live CDC cursors, in-progress snapshot folds) and the last
+// RetainSegments sealed segments survive, and retention -1 disables
+// truncation entirely. A segment another actor removed concurrently (a
+// chaos restart racing a flush) is skipped, not an error.
+func (l *Log) TruncateBefore(keepID uint64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return ErrClosed
+		return 0, ErrClosed
+	}
+	if l.retain < 0 {
+		return 0, nil // log-as-database mode: keep everything
+	}
+	keep := keepID
+	if l.retain > 0 {
+		floor := uint64(0)
+		if l.segID > uint64(l.retain) {
+			floor = l.segID - uint64(l.retain)
+		}
+		if floor < keep {
+			keep = floor
+		}
+	}
+	for seg := range l.pins {
+		if seg < keep {
+			keep = seg
+		}
 	}
 	names, err := l.fs.List(l.dir + "/")
 	if err != nil {
-		return fmt.Errorf("wal: list: %w", err)
+		return 0, fmt.Errorf("wal: list: %w", err)
 	}
+	removed := 0
 	for _, name := range names {
-		if id, ok := parseSegmentID(l.dir, name); ok && id < keepID {
+		if id, ok := parseSegmentID(l.dir, name); ok && id < keep {
 			if err := l.fs.Remove(name); err != nil {
-				return fmt.Errorf("wal: truncate segment %s: %w", name, err)
+				if errors.Is(err, vfs.ErrNotExist) {
+					continue // removed concurrently: already gone, not a failure
+				}
+				return removed, fmt.Errorf("wal: truncate segment %s: %w", name, err)
 			}
+			removed++
 		}
 	}
-	return nil
+	return removed, nil
 }
 
 // ActiveSegment returns the ID of the segment currently receiving appends.
@@ -328,7 +709,8 @@ func (l *Log) ActiveSegment() uint64 {
 	return l.segID
 }
 
-// Close closes the log. Further operations fail with ErrClosed.
+// Close closes the log. Further appends fail with ErrClosed; existing
+// cursors keep reading (segment files are immutable once sealed).
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -82,8 +82,12 @@ func TestRollAndTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Append(Record{Key: []byte("new"), Value: []byte("2"), Ts: 2})
-	if err := l.TruncateBefore(keep); err != nil {
+	removed, err := l.TruncateBefore(keep)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("TruncateBefore removed %d segments, want 1", removed)
 	}
 	l.Close()
 
@@ -216,7 +220,7 @@ func TestClosedLogErrors(t *testing.T) {
 	if _, err := l.Roll(); err != ErrClosed {
 		t.Errorf("Roll after close: %v", err)
 	}
-	if err := l.TruncateBefore(1); err != ErrClosed {
+	if _, err := l.TruncateBefore(1); err != ErrClosed {
 		t.Errorf("TruncateBefore after close: %v", err)
 	}
 	if err := l.Close(); err != ErrClosed {
