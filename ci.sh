@@ -45,6 +45,13 @@
 #      recovery must equal full replay and every golden as-of read must
 #      hold); a `lsmtool wal tail` smoke; and a one-iteration
 #      BenchmarkRecoveryReplay smoke of both recovery paths
+#  13. scale             — the open-loop harness and elastic cluster
+#      dynamics (DESIGN.md §14): deterministic pacing/shedding tests, the
+#      continuous balancer racing splits/merges/compaction, cold merges,
+#      live add/decommission and the elastic chaos scenario under -race;
+#      the seeded-generator golden guard; a `diffbench -openloop` overload
+#      smoke (p99 column present, arrivals actually shed); and the
+#      `chaoskit -elastic` verdict across all four schemes
 set -eu
 cd "$(dirname "$0")"
 
@@ -136,5 +143,27 @@ if ! go run ./cmd/lsmtool wal tail -rows 8 | grep -q 'resume position'; then
     exit 1
 fi
 go test -run=NONE -bench=BenchmarkRecoveryReplay -benchtime=1x ./internal/wal
+
+echo "== scale (open-loop harness + elastic dynamics, DESIGN.md §14) =="
+# Deterministic open-loop spine + elastic topology under -race: virtual-clock
+# pacing and shed accounting, the continuous balancer racing concurrent
+# splits/merges/compaction rounds, cold merges, live server add/decommission,
+# and the seeded elastic chaos scenario (all four schemes' invariants).
+go test -race -count=1 -run 'OpenLoop|VirtualClock|Balanc|ColdMerge|MoveRegion|AddServer|Decommission|Elastic' \
+    ./internal/scale ./internal/cluster ./internal/chaos
+# Generator spine: seeded choosers must replay their golden sequences and
+# keep the zipfian hot-set mass (silent skew drift invalidates every sweep).
+go test -count=1 -run 'Generator|Zipfian' ./internal/workload
+# Open-loop smoke at a fixed overload rate: the curve must carry the p99
+# column and the run must actually shed — open-loop measurement means
+# rejecting excess load, not buffering it without bound.
+openloop_out=$(go run ./cmd/diffbench -openloop -rate 6000 -duration 300ms)
+echo "$openloop_out" | grep -q 'p99' || { echo "diffbench -openloop output missing p99 column" >&2; exit 1; }
+echo "$openloop_out" | grep -Eq 'shed by the open-loop gate across all points: [1-9]' \
+    || { echo "diffbench -openloop overload point shed nothing" >&2; exit 1; }
+# Elastic verdict: seeded server adds, a decommission, cold merges, hot
+# splits and continuous balancing under live load; every per-scheme
+# invariant must hold and the AUQ backlog must stay under its cap.
+go run ./cmd/chaoskit -scenarios 0 -elastic -trace=false
 
 echo "CI PASSED"

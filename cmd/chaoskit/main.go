@@ -7,7 +7,10 @@
 //
 // Scenario i uses seed root+i and rotates through the four index schemes,
 // so five scenarios cover every scheme at least once. Exit status is 0 iff
-// every scenario upheld every invariant. -ablation additionally runs the
+// every scenario upheld every invariant. -elastic additionally runs the
+// elastic cluster-dynamics scenario (live server adds, a decommission
+// drain, a cold merge and a split under the continuous balancer and AUQ
+// admission control) once per scheme. -ablation additionally runs the
 // §5.3 drain-on-flush negative control, which must produce violations.
 // -integrity additionally runs the silent-corruption pair: a faulted run
 // where the background scrubber must detect injected misreads (reported as
@@ -32,6 +35,7 @@ func main() {
 	records := flag.Int64("records", 240, "item-table size")
 	threads := flag.Int("threads", 3, "workload threads")
 	duration := flag.Duration("duration", 1200*time.Millisecond, "chaos window per scenario")
+	elastic := flag.Bool("elastic", false, "also run the elastic cluster-dynamics scenario (adds, decommission, merge, balancer, AUQ admission control) across all four schemes")
 	ablation := flag.Bool("ablation", false, "also run the drain-on-flush ablation pair (broken run MUST violate)")
 	integrity := flag.Bool("integrity", false, "also run the silent-corruption + index-divergence pair (faulted run + clean control)")
 	timetravel := flag.Bool("timetravel", false, "also run the log-as-database crash scenario (torn mid-snapshot; snapshot+tail recovery must equal full replay)")
@@ -79,6 +83,30 @@ func main() {
 		verdicts = append(verdicts, verdict{name: fmt.Sprintf("#%d %s", i+1, cfg.Scheme), res: res})
 		if !res.OK() {
 			fail = true
+		}
+	}
+
+	if *elastic {
+		for i, scheme := range schemes {
+			cfg := chaos.ElasticConfig{Seed: *seed + int64(i), Scheme: scheme, AUQMaxBacklog: 64}
+			fmt.Printf("\n— elastic %d/%d: scheme=%s seed=%d\n", i+1, len(schemes), scheme, cfg.Seed)
+			res, err := chaos.RunElastic(cfg)
+			if err != nil {
+				fmt.Printf("  ERROR: %v\n", err)
+				fail = true
+				continue
+			}
+			if *trace {
+				for _, line := range res.Schedule.Trace() {
+					fmt.Println("  " + line)
+				}
+			}
+			fmt.Printf("  max AUQ backlog %d (cap %d), shed-to-sync %d\n", res.MaxAUQBacklog, cfg.AUQMaxBacklog, res.AUQShed)
+			report(res)
+			verdicts = append(verdicts, verdict{name: fmt.Sprintf("elastic %s", scheme), res: res})
+			if !res.OK() {
+				fail = true
+			}
 		}
 	}
 

@@ -7,7 +7,14 @@
 //
 //	diffbench [-experiment all|<id>] [-profile small|paper]
 //	          [-format table|csv] [-list]
+//	          [-openloop] [-rate r1,r2,...] [-duration <d>]
 //	          [-metrics <interval>] [-metrics-http <addr>]
+//
+// -openloop runs only the open-loop latency-under-load sweep (equivalent to
+// -experiment openloop, with knobs): arrivals are generated at the offered
+// -rate ladder (ops/s, comma-separated; empty derives one from measured
+// saturation) for -duration per point, and the curve reports p50/p99
+// arrival-to-completion latency and the shed rate per index scheme.
 //
 // -metrics streams the live cluster's metrics registry to stderr as one
 // JSON line per interval while experiments run; -metrics-http serves the
@@ -29,6 +36,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"diffindex/internal/bench"
@@ -43,6 +52,9 @@ func main() {
 		format      = flag.String("format", "table", "output format: table | csv")
 		metricsInt  = flag.Duration("metrics", 0, "stream live metrics JSON to stderr every interval (0 disables)")
 		metricsHTTP = flag.String("metrics-http", "", "serve live metrics over HTTP on this address (e.g. localhost:8125)")
+		openLoop    = flag.Bool("openloop", false, "run only the open-loop latency-under-load sweep")
+		rates       = flag.String("rate", "", "openloop: offered rates in ops/s, comma-separated (empty = derive from saturation)")
+		duration    = flag.Duration("duration", 0, "openloop: arrival window per point (default profile run time)")
 	)
 	flag.Parse()
 
@@ -80,9 +92,27 @@ func main() {
 	p.Seed = *seed
 
 	var exps []bench.Experiment
-	if *experiment == "all" {
+	switch {
+	case *openLoop:
+		cfg := bench.OpenLoopConfig{Duration: *duration}
+		if *rates != "" {
+			for _, f := range strings.Split(*rates, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil || v <= 0 {
+					fmt.Fprintf(os.Stderr, "bad -rate entry %q (want a positive ops/s value)\n", f)
+					os.Exit(2)
+				}
+				cfg.Rates = append(cfg.Rates, v)
+			}
+		}
+		exps = []bench.Experiment{{
+			ID:    "openloop",
+			Title: "latency under load: open-loop arrival-rate sweep",
+			Run:   func(p bench.Profile) (bench.Report, error) { return bench.OpenLoop(p, cfg) },
+		}}
+	case *experiment == "all":
 		exps = bench.Experiments()
-	} else {
+	default:
 		e, err := bench.Find(*experiment)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

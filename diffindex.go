@@ -123,9 +123,32 @@ type Options struct {
 	// and coalesces into a single region-batched apply (default 16; 1
 	// disables micro-batching).
 	APSBatch int
+	// AUQMaxBacklog, when > 0, caps each region's pending asynchronous
+	// index work: an arrival that would exceed the cap is shed to the
+	// synchronous path (maintained inline in the put), bounding both queue
+	// memory and index staleness under overload. 0 keeps the classic
+	// block-at-capacity backpressure.
+	AUQMaxBacklog int
 	// StalenessSampleEvery samples every Nth async completion into the
 	// staleness histogram (default 1 = all; the paper samples 0.1%).
 	StalenessSampleEvery int
+
+	// BalancerInterval, when > 0, runs the continuous load-aware balancer:
+	// every interval the master compares per-server op counts, migrates one
+	// region from the most- to the least-loaded server when the hotspot
+	// ratio is exceeded, and merges one cold adjacent region pair when
+	// MergeColdThreshold is set. 0 disables the loop (Rebalance still runs
+	// rounds on demand).
+	BalancerInterval time.Duration
+	// HotspotRatio is the most/least-loaded ratio that triggers a balancer
+	// move (default 2.0).
+	HotspotRatio float64
+	// MergeColdThreshold, when > 0, lets balancer rounds merge adjacent
+	// regions that each served fewer ops than this since the last round.
+	MergeColdThreshold int64
+	// MinRegionsPerTable is the floor cold merges never shrink a table
+	// below (default 2).
+	MinRegionsPerTable int
 
 	// SessionTTL expires inactive sessions (default 30 min, as in §5.2).
 	SessionTTL time.Duration
@@ -202,6 +225,10 @@ type DB struct {
 	// Options.CDCBufferRecords).
 	cdcBuffer int
 
+	// balCfg is the balancer policy built from Options, reused by on-demand
+	// Rebalance rounds.
+	balCfg cluster.BalanceConfig
+
 	// cdcMu guards the set of live change feeds; cdcGauge registers the
 	// feed-lag gauge once, on the first feed.
 	cdcMu    sync.Mutex
@@ -243,6 +270,7 @@ func Open(opts Options) *DB {
 		QueueCapacity:        opts.AUQCapacity,
 		Workers:              opts.APSWorkers,
 		APSBatch:             opts.APSBatch,
+		MaxBacklog:           opts.AUQMaxBacklog,
 		StalenessSampleEvery: opts.StalenessSampleEvery,
 		SessionTTL:           opts.SessionTTL,
 		SessionMaxBytes:      opts.SessionMaxBytes,
@@ -252,7 +280,16 @@ func Open(opts Options) *DB {
 	if cdcBuffer <= 0 {
 		cdcBuffer = 1024
 	}
-	return &DB{c: c, m: m, cdcBuffer: cdcBuffer, cdcFeeds: make(map[*ChangeFeed]struct{})}
+	db := &DB{c: c, m: m, cdcBuffer: cdcBuffer, cdcFeeds: make(map[*ChangeFeed]struct{})}
+	db.balCfg = cluster.BalanceConfig{
+		HotspotRatio:       opts.HotspotRatio,
+		MergeColdThreshold: opts.MergeColdThreshold,
+		MinRegionsPerTable: opts.MinRegionsPerTable,
+	}
+	if opts.BalancerInterval > 0 {
+		c.Master.StartBalancer(opts.BalancerInterval, db.balCfg)
+	}
+	return db
 }
 
 // CreateTable creates a base table pre-split at the given row keys into
@@ -322,6 +359,72 @@ func (db *DB) CrashServer(id string) error { return db.c.Master.CrashServer(id) 
 // replays its WAL and re-enqueues asynchronous index work, exactly as in
 // crash recovery (§5.3).
 func (db *DB) RestartServer(id string) error { return db.c.Master.RestartServer(id) }
+
+// AddServer grows the cluster by one empty region server and returns its ID.
+// The new server receives regions through new-table assignment and the
+// balancer (continuous or on-demand Rebalance rounds).
+func (db *DB) AddServer() string { return db.c.AddServer() }
+
+// RemoveServer decommissions a live server gracefully: it stops receiving
+// assignments, its regions are flushed and handed off to the remaining
+// servers, and it is retired permanently (it cannot be restarted). The
+// elastic inverse of AddServer; contrast with CrashServer, which models
+// failure.
+func (db *DB) RemoveServer(id string) error { return db.c.Master.DecommissionServer(id) }
+
+// RegionMove records one balancer-driven region migration.
+type RegionMove struct {
+	Region, From, To string
+}
+
+// RebalanceReport is what one balancer round observed and did.
+type RebalanceReport struct {
+	// Loads is the per-server op count accumulated since the previous round.
+	Loads map[string]int64
+	// Moves lists region migrations performed this round (at most one).
+	Moves []RegionMove
+	// Merged lists child regions created by cold merges (at most one).
+	Merged []string
+}
+
+// Rebalance runs one load-aware balancer round on demand (the continuous
+// loop runs the same round every Options.BalancerInterval): migrate one
+// region from the most- to the least-loaded server when the hotspot ratio
+// is exceeded, and merge one cold adjacent region pair when
+// MergeColdThreshold is configured.
+func (db *DB) Rebalance() RebalanceReport {
+	rep := db.c.Master.BalanceOnce(db.balCfg)
+	out := RebalanceReport{Loads: rep.Loads, Merged: rep.Merged}
+	for _, mv := range rep.Moves {
+		out.Moves = append(out.Moves, RegionMove{Region: mv.Region, From: mv.From, To: mv.To})
+	}
+	return out
+}
+
+// MoveRegion migrates one region to the given live server, reporting whether
+// the move happened (false when the region was re-homed concurrently, is
+// mid-split, or already lives there).
+func (db *DB) MoveRegion(regionID, server string) (bool, error) {
+	return db.c.Master.MoveRegion(regionID, server)
+}
+
+// AUQStats reports asynchronous-update-queue pressure: total and worst
+// single-region backlog, plus how many arrivals admission control shed to
+// the synchronous path (see Options.AUQMaxBacklog).
+type AUQStats struct {
+	Depth          int64 // queued + in-flight tasks across all regions
+	MaxRegionDepth int64 // largest single-region backlog (≤ AUQMaxBacklog when capped)
+	Shed           int64 // arrivals degraded to synchronous maintenance
+}
+
+// AUQStats returns a snapshot of AUQ backlog and admission-control counters.
+func (db *DB) AUQStats() AUQStats {
+	return AUQStats{
+		Depth:          db.m.QueueDepth(),
+		MaxRegionDepth: db.m.MaxRegionQueueDepth(),
+		Shed:           db.m.ShedTotal(),
+	}
+}
 
 // RegionDesc describes one region of a table.
 type RegionDesc struct {

@@ -23,7 +23,7 @@ func tiny() Profile {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
+	if len(exps) != 14 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -105,6 +105,33 @@ func TestFig7ExperimentShape(t *testing.T) {
 	}
 	if ratio := mean["full"] / mean["null"]; ratio < 2 {
 		t.Errorf("sync-full/null ratio %.1f, want ≥2 (paper ~5x)", ratio)
+	}
+}
+
+func TestOpenLoopExperimentShape(t *testing.T) {
+	p := tiny()
+	// A tiny in-flight window makes the overload point shed regardless of
+	// host speed: capacity ≈ MaxInFlight/service-time ≈ 1k ops/s here.
+	rep, err := OpenLoop(p, OpenLoopConfig{
+		Rates:       []float64{200, 5000},
+		Duration:    80 * time.Millisecond,
+		MaxInFlight: 8,
+		QueueBound:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4*2 { // 4 schemes × 2 rate points
+		t.Fatalf("openloop rows = %d:\n%s", len(rep.Rows), rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"sync-full", "sync-insert", "async-simple", "async-session", "p99", "shed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "shed by the open-loop gate") || strings.Contains(out, "across all points: 0 ") {
+		t.Errorf("overload point shed nothing:\n%s", out)
 	}
 }
 

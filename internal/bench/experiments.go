@@ -25,6 +25,7 @@ func Experiments() []Experiment {
 		{"ablate-cache", "ablation: block cache on vs off", AblationBlockCache},
 		{"ablate-auq", "ablation: AUQ capacity under a write burst", AblationQueueCapacity},
 		{"localvsglobal", "§3.1: local vs global index trade-off", LocalVsGlobal},
+		{"openloop", "latency under load: open-loop arrival-rate sweep", OpenLoopDefault},
 	}
 }
 

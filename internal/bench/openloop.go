@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"diffindex"
+	"diffindex/internal/scale"
+	"diffindex/internal/workload"
+)
+
+// OpenLoopConfig shapes a `diffbench -openloop` campaign.
+type OpenLoopConfig struct {
+	// Rates are the offered arrival rates (ops/s) to sweep. Empty derives a
+	// ladder from the measured closed-loop saturation of sync-full — one
+	// point well under it, one at it, one past it — so the curve always
+	// spans the under-load / knee / overload regimes regardless of profile.
+	Rates []float64
+	// Duration is the arrival-generation window per point (default
+	// Profile.RunTime).
+	Duration time.Duration
+	// MaxInFlight bounds concurrently executing operations (default 64).
+	MaxInFlight int
+	// QueueBound is how many admitted arrivals may wait for a slot before
+	// further arrivals are shed (default MaxInFlight).
+	QueueBound int
+}
+
+// openLoopSchemes is the full four-scheme ladder the latency-under-load
+// curve compares (unlike the update/read figures, session is included:
+// its server path is async's, but its client adds the session round).
+func openLoopSchemes() []SchemeSet {
+	return []SchemeSet{
+		{"sync-full", int(diffindex.SyncFull)},
+		{"sync-insert", int(diffindex.SyncInsert)},
+		{"async-simple", int(diffindex.AsyncSimple)},
+		{"async-session", int(diffindex.AsyncSession)},
+	}
+}
+
+// OpenLoopDefault adapts OpenLoop to the experiment registry.
+func OpenLoopDefault(p Profile) (Report, error) { return OpenLoop(p, OpenLoopConfig{}) }
+
+// OpenLoop produces the latency-under-load curve: for each index scheme,
+// operations arrive open-loop (Poisson, rate-paced, independent of service
+// progress) at each offered rate, and the report records achieved
+// throughput, p50/p99 arrival-to-completion latency (queueing included) and
+// the shed rate. Closed-loop sweeps (Figs. 7-8) cannot measure this: their
+// arrival rate collapses to the service rate when the system saturates, so
+// they hide exactly the queueing delay this curve exists to show.
+//
+// Async schemes run with AUQ admission control armed (AUQMaxBacklog), so
+// overload degrades them gracefully — backlog stays bounded and the
+// overflow is shed to synchronous maintenance — and the report's auq
+// columns show that trade: sheds rise instead of staleness growing without
+// bound.
+func OpenLoop(p Profile, cfg OpenLoopConfig) (Report, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = p.RunTime
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = cfg.MaxInFlight
+	}
+	const auqMaxBacklog = 512
+
+	r := Report{
+		ID:    "openloop",
+		Title: "Latency under load: open-loop arrival-rate sweep",
+		Header: []string{"scheme", "offered_ops_s", "achieved_ops_s", "p50_ms", "p99_ms",
+			"shed_rate", "auq_shed", "auq_max_backlog"},
+	}
+
+	mix := map[workload.OpKind]float64{
+		workload.OpIndexRead: 0.3,
+		workload.OpRowRead:   0.2,
+		// remaining 0.5 → updates
+	}
+
+	var totalShed int64
+	for _, s := range openLoopSchemes() {
+		opts := p.Options()
+		opts.AUQMaxBacklog = auqMaxBacklog
+		db := registerDB(diffindex.Open(opts))
+		if err := workload.Setup(db, p.Records, p.RegionsPerTable, s.Scheme, -1, p.LoaderThreads); err != nil {
+			db.Close()
+			return Report{}, err
+		}
+		if !db.WaitForIndexes(waitLong) {
+			db.Close()
+			return Report{}, fmt.Errorf("bench: indexes did not converge after load")
+		}
+		if err := db.FlushAll(); err != nil {
+			db.Close()
+			return Report{}, err
+		}
+
+		if len(cfg.Rates) == 0 {
+			// Calibrate once, on the first (slowest) scheme, and share the
+			// ladder so every scheme is measured at the same offered rates.
+			sat := workload.Run(db, workload.RunConfig{
+				Records:      p.Records,
+				Threads:      p.ThreadSweep[len(p.ThreadSweep)-1],
+				Duration:     cfg.Duration,
+				Mix:          mix,
+				Distribution: "zipfian",
+				Seed:         p.SeedFor("openloop-saturate", 1),
+			})
+			db.WaitForIndexes(waitLong)
+			cfg.Rates = []float64{sat.TPS * 0.5, sat.TPS, sat.TPS * 2}
+			r.AddNote("rate ladder derived from %s closed-loop saturation: %.0f ops/s", s.Label, sat.TPS)
+		}
+
+		for i, rate := range cfg.Rates {
+			shedBefore := db.AUQStats().Shed
+			res := scale.RunWorkload(db, scale.Config{
+				Rate:        rate,
+				Duration:    cfg.Duration,
+				MaxInFlight: cfg.MaxInFlight,
+				QueueBound:  cfg.QueueBound,
+				Seed:        p.SeedFor("openloop-arrivals/"+s.Label, int64(i)),
+			}, scale.WorkloadConfig{
+				Records:      p.Records,
+				Mix:          mix,
+				Distribution: "zipfian",
+				Seed:         p.SeedFor("openloop-ops/"+s.Label, int64(i)),
+			})
+			// Sample AUQ pressure before the drain: after WaitForIndexes the
+			// backlog is always zero by definition.
+			auq := db.AUQStats()
+			db.WaitForIndexes(waitLong)
+			auq.Shed = db.AUQStats().Shed
+			r.AddRow(s.Label,
+				fmt.Sprintf("%.0f", rate),
+				fmt.Sprintf("%.0f", res.AchievedRate()),
+				msDur(time.Duration(res.Latency.Quantile(0.50))),
+				msDur(time.Duration(res.Latency.Quantile(0.99))),
+				fmt.Sprintf("%.3f", res.ShedRate()),
+				fmt.Sprintf("%d", auq.Shed-shedBefore),
+				fmt.Sprintf("%d", auq.MaxRegionDepth))
+			totalShed += res.Shed
+			if res.Errors > 0 {
+				r.AddNote("%s @ %.0f ops/s: %d operation errors", s.Label, rate, res.Errors)
+			}
+			if auq.MaxRegionDepth > auqMaxBacklog {
+				r.AddNote("%s @ %.0f ops/s: AUQ backlog %d exceeded cap %d", s.Label, rate, auq.MaxRegionDepth, auqMaxBacklog)
+			}
+		}
+		db.Close()
+	}
+	r.AddNote("total arrivals shed by the open-loop gate across all points: %d (expected > 0 at the overload rate)", totalShed)
+	r.AddNote("p99 includes queueing delay: arrivals are paced independently of completions, so past saturation latency grows with offered rate while closed-loop p99 would plateau")
+	return r, nil
+}

@@ -190,3 +190,37 @@ func TestChaosIncrementalCompaction(t *testing.T) {
 		})
 	}
 }
+
+// The elastic scenario: server adds, a decommission, a merge and a split
+// interleaved with crashes, partitions and fault windows while the balancer
+// runs and AUQ admission control caps the async backlog. Every invariant
+// must hold and the sampled backlog must respect the cap.
+func TestElasticScenario(t *testing.T) {
+	schemes := []diffindex.Scheme{diffindex.AsyncSimple, diffindex.AsyncSession}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, err := RunElastic(ElasticConfig{Seed: 11, Scheme: scheme, Duration: 900 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Error("async index work did not converge after quiescence")
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			if res.Ops == 0 {
+				t.Error("workload made no progress")
+			}
+			if len(res.Added) == 0 {
+				t.Error("schedule added no servers")
+			}
+			if res.MaxAUQBacklog > 2*64+3+4 {
+				t.Errorf("backlog %d breached the enforced bound", res.MaxAUQBacklog)
+			}
+			t.Logf("elastic %s: ops=%d added=%v removed=%v merges=%d maxBacklog=%d shed=%d notes=%v",
+				scheme, res.Ops, res.Added, res.Removed, res.Merges, res.MaxAUQBacklog, res.AUQShed, res.Notes)
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"time"
+
+	"diffindex"
+)
+
+// ElasticConfig sizes one elastic chaos scenario. Zero values take the
+// defaults below.
+type ElasticConfig struct {
+	Seed   int64
+	Scheme diffindex.Scheme
+	// Duration is the chaos window (default 1.5s — slightly longer than the
+	// base scenario so the decommission drain and post-add balancing fit).
+	Duration time.Duration
+	// AUQMaxBacklog arms admission control (default 64).
+	AUQMaxBacklog int
+	// BalancerInterval runs the load-aware balancer during the scenario
+	// (default 20ms).
+	BalancerInterval time.Duration
+}
+
+// RunElastic runs the elastic cluster-dynamics scenario: a seeded schedule
+// interleaving server adds, a decommission, a region merge and a split with
+// the base harness's crash/restart, partition/heal and fault windows — all
+// under a live update workload, with the continuous balancer moving regions
+// and AUQ admission control capping async backlog throughout. Every
+// per-scheme invariant checker must hold at the end, and the sampled
+// backlog must stay within the configured cap.
+func RunElastic(cfg ElasticConfig) (*Result, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 1500 * time.Millisecond
+	}
+	if cfg.AUQMaxBacklog <= 0 {
+		cfg.AUQMaxBacklog = 64
+	}
+	if cfg.BalancerInterval <= 0 {
+		cfg.BalancerInterval = 20 * time.Millisecond
+	}
+	return Run(ScenarioConfig{
+		Seed:             cfg.Seed,
+		Scheme:           cfg.Scheme,
+		Duration:         cfg.Duration,
+		AUQMaxBacklog:    cfg.AUQMaxBacklog,
+		BalancerInterval: cfg.BalancerInterval,
+		Plan: &PlanConfig{
+			Crashes: 1, Partitions: 1, Flushes: 1, Splits: 1,
+			AddServers: 2, RemoveServers: 1, Merges: 1,
+			DiskFaultWindows: 1, NetFaultWindows: 1,
+		},
+	})
+}

@@ -51,6 +51,15 @@ type ScenarioConfig struct {
 	// CompactionFanIn overrides the per-round merge width (0 = store
 	// default).
 	CompactionFanIn int
+	// AUQMaxBacklog, when > 0, arms AUQ admission control: per-region async
+	// backlog is capped and overflow arrivals degrade to synchronous
+	// maintenance. The runner samples the worst backlog throughout and
+	// reports a violation if the cap was breached (beyond the bounded
+	// overshoot the shed-to-sync fallback permits).
+	AUQMaxBacklog int
+	// BalancerInterval, when > 0, runs the continuous load-aware balancer
+	// during the scenario, so moves race the scheduled faults.
+	BalancerInterval time.Duration
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -96,6 +105,14 @@ type Result struct {
 	Elapsed   time.Duration
 	// Notes records non-fatal oddities (failed administrative events).
 	Notes []string
+	// Added and Removed list the servers the elastic events grew and
+	// decommissioned; Merges counts region merges performed.
+	Added, Removed []string
+	Merges         int
+	// MaxAUQBacklog is the worst single-region async backlog sampled during
+	// the run; AUQShed counts arrivals admission control degraded to sync.
+	MaxAUQBacklog int64
+	AUQShed       int64
 }
 
 // OK reports whether the scenario upheld every invariant.
@@ -124,6 +141,8 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 		MaxVersions:               1024,
 		CompactionThreshold:       cfg.CompactionThreshold,
 		CompactionFanIn:           cfg.CompactionFanIn,
+		AUQMaxBacklog:             cfg.AUQMaxBacklog,
+		BalancerInterval:          cfg.BalancerInterval,
 		UnsafeDisableDrainOnFlush: cfg.DisableDrainOnFlush,
 		DisableTracing:            true,
 	})
@@ -241,9 +260,9 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 		}()
 	}
 
-	// Fire the schedule. Flush and split run in goroutines: their pre-flush
-	// AUQ drains can stall behind an injected fault until the window heals,
-	// and must not delay later events.
+	// Fire the schedule. Flush, split, merge and decommission run in
+	// goroutines: their pre-flush AUQ drains can stall behind an injected
+	// fault until the window heals, and must not delay later events.
 	var admin sync.WaitGroup
 	var noteMu sync.Mutex
 	note := func(format string, args ...any) {
@@ -251,6 +270,33 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 		res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
 		noteMu.Unlock()
 	}
+
+	// Elastic bookkeeping: adds are recorded so removes can prefer them.
+	var elasticMu sync.Mutex
+	var added []string
+
+	// With admission control armed, sample the worst single-region backlog
+	// continuously — the cap must hold THROUGH the faults, not just at the
+	// end.
+	var maxBacklog atomic.Int64
+	if cfg.AUQMaxBacklog > 0 {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d := db.AUQStats().MaxRegionDepth; d > maxBacklog.Load() {
+					maxBacklog.Store(d)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
 	start := time.Now()
 	for _, ev := range res.Schedule {
 		if d := time.Until(start.Add(ev.At)); d > 0 {
@@ -281,6 +327,66 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 					if err := db.SplitRegion(id, key); err != nil {
 						note("split %s: %v", id, err)
 					}
+				}()
+			}
+		case EvAddServer:
+			id := db.AddServer()
+			elasticMu.Lock()
+			added = append(added, id)
+			res.Added = append(res.Added, id)
+			elasticMu.Unlock()
+		case EvRemoveServer:
+			// Resolve the victim now: prefer the most recently added server
+			// still live, else an original server when at least three remain
+			// assignable (the checkers' scatter reads need survivors).
+			live := make(map[string]bool)
+			for _, id := range db.LiveServers() {
+				live[id] = true
+			}
+			target := ""
+			elasticMu.Lock()
+			for i := len(added) - 1; i >= 0; i-- {
+				if live[added[i]] {
+					target = added[i]
+					added = append(added[:i], added[i+1:]...)
+					break
+				}
+			}
+			elasticMu.Unlock()
+			if target == "" {
+				if ids := db.LiveServers(); len(ids) >= 3 {
+					target = ids[len(ids)-1]
+				}
+			}
+			if target == "" {
+				note("remove-server: no eligible target")
+				continue
+			}
+			// Decommission drains and hands off in a goroutine: its FlushAll
+			// can stall behind a partition until the window heals.
+			admin.Add(1)
+			go func(target string) {
+				defer admin.Done()
+				if err := db.RemoveServer(target); err != nil {
+					note("remove %s: %v", target, err)
+					return
+				}
+				elasticMu.Lock()
+				res.Removed = append(res.Removed, target)
+				elasticMu.Unlock()
+			}(target)
+		case EvMerge:
+			if lo, hi, ok := pickMerge(db, cfg.Records); ok {
+				admin.Add(1)
+				go func() {
+					defer admin.Done()
+					if err := db.MergeRegions(lo, hi); err != nil {
+						note("merge %s+%s: %v", lo, hi, err)
+						return
+					}
+					elasticMu.Lock()
+					res.Merges++
+					elasticMu.Unlock()
 				}()
 			}
 		case EvPartition:
@@ -352,6 +458,29 @@ func Run(cfg ScenarioConfig) (*Result, error) {
 	}
 	res.Checked = checked
 	res.Violations = append(res.Violations, vs...)
+	if cfg.AUQMaxBacklog > 0 {
+		// One final sample, then enforce the cap. The shed-to-sync fallback
+		// re-enqueues when inline maintenance fails mid-fault, so concurrent
+		// writers can overshoot the cap by at most their own count; anything
+		// beyond that bounded slack means admission control leaked.
+		if d := db.AUQStats().MaxRegionDepth; d > maxBacklog.Load() {
+			maxBacklog.Store(d)
+		}
+		res.MaxAUQBacklog = maxBacklog.Load()
+		res.AUQShed = db.AUQStats().Shed
+		// Two legitimate overshoot sources: concurrent writers racing the
+		// cap check (bounded by the writer count), and crash-recovery WAL
+		// replay re-enqueueing up to a full cap's worth of preserved tasks
+		// on top of an already-full queue — durability beats the cap during
+		// recovery. So the enforced bound is 2·cap plus writer slack; an
+		// uncapped run under the same load backs up into the thousands.
+		bound := 2*int64(cfg.AUQMaxBacklog) + int64(cfg.Threads) + 4
+		if res.MaxAUQBacklog > bound {
+			res.Violations = append(res.Violations, Violation{"auq-backlog",
+				fmt.Sprintf("sampled AUQ backlog %d exceeds bound %d (cap %d)",
+					res.MaxAUQBacklog, bound, cfg.AUQMaxBacklog)})
+		}
+	}
 	res.Ops = ops.Load()
 	res.OpErrors = opErrs.Load()
 	res.DiskFaults = fault.Stats.Total()
@@ -394,6 +523,24 @@ func pickSplit(db *diffindex.DB, records int64) (regionID string, splitKey []byt
 		}
 	}
 	return regionID, splitKey, regionID != ""
+}
+
+// pickMerge chooses the narrowest adjacent base-table region pair, keeping
+// at least two regions so later splits still have room to work.
+func pickMerge(db *diffindex.DB, records int64) (lower, upper string, ok bool) {
+	regions, err := db.Regions(workload.TableName)
+	if err != nil || len(regions) < 3 {
+		return "", "", false
+	}
+	bestSpan := int64(1) << 62
+	for i := 0; i+1 < len(regions); i++ {
+		lo := itemOrdinal(regions[i].Start, 0)
+		hi := itemOrdinal(regions[i+1].End, records)
+		if span := hi - lo; span < bestSpan {
+			bestSpan, lower, upper = span, regions[i].ID, regions[i+1].ID
+		}
+	}
+	return lower, upper, lower != ""
 }
 
 // itemOrdinal decodes workload.ItemKey back to its ordinal; empty region

@@ -47,6 +47,12 @@ const (
 	EvDiskCalm  EventKind = "disk-calm"  // disarm the FaultFS
 	EvNetFault  EventKind = "net-fault"  // arm simnet message drop/delay
 	EvNetCalm   EventKind = "net-calm"   // disarm simnet message faults
+
+	// Elastic cluster dynamics (targets resolved at fire time, since they
+	// depend on what the run has done so far).
+	EvAddServer    EventKind = "add-server"    // grow the cluster by one empty server
+	EvRemoveServer EventKind = "remove-server" // decommission one server (drain + handoff)
+	EvMerge        EventKind = "merge"         // merge one adjacent base-table region pair
 )
 
 // Event is one scheduled chaos action.
@@ -103,6 +109,17 @@ type PlanConfig struct {
 	// sub-interval of the run.
 	DiskFaultWindows int
 	NetFaultWindows  int
+	// AddServers grows the cluster by one empty server per event (scheduled
+	// in the first half of the run, so the balancer has time to use them).
+	AddServers int
+	// RemoveServers decommissions one server per event (scheduled after the
+	// adds; the runner resolves the victim at fire time, preferring servers
+	// the run added).
+	RemoveServers int
+	// Merges are point events merging one adjacent base-table region pair,
+	// scheduled outside partition and crash windows (their freeze+flush
+	// drains would stall there) like Splits.
+	Merges int
 }
 
 type window struct{ start, end time.Duration }
@@ -186,6 +203,38 @@ func Plan(seed int64, cfg PlanConfig) Schedule {
 		if t, ok := point(avoidBoth); ok {
 			sched = append(sched, Event{At: t, Kind: EvSplit})
 		}
+	}
+	for i := 0; i < cfg.Merges; i++ {
+		if t, ok := point(avoidBoth); ok {
+			sched = append(sched, Event{At: t, Kind: EvMerge})
+		}
+	}
+
+	// Elastic membership: adds land early (first half) so later events and
+	// the balancer can exercise the grown cluster; removes land in
+	// (0.55, 0.80)·Duration, after every add, and outside crash windows —
+	// decommission hands regions off to the survivors, which a concurrent
+	// crash of the handoff target would turn into recovery churn the short
+	// run cannot absorb deterministically.
+	for i := 0; i < cfg.AddServers; i++ {
+		sched = append(sched, Event{At: scale(d, 0.08+0.40*rng.Float64()), Kind: EvAddServer})
+	}
+	for i := 0; i < cfg.RemoveServers; i++ {
+		t := scale(d, 0.55+0.25*rng.Float64())
+		for try := 0; try < 16; try++ {
+			clear := true
+			for _, w := range crashWins {
+				if w.contains(t) {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				break
+			}
+			t = scale(d, 0.55+0.25*rng.Float64())
+		}
+		sched = append(sched, Event{At: t, Kind: EvRemoveServer})
 	}
 
 	// Injector windows: arm → calm.

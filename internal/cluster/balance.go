@@ -1,0 +1,533 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the elastic half of the cluster: a continuous load-aware
+// balancer that generalizes RestartServer's one-shot steal-from-most-loaded
+// rebalance into a periodic loop, a safe region-move primitive it is built
+// on, cold-range merges (split's inverse as a *policy*, driving
+// Master.mergeRegions), and live server decommission with drain-and-handoff.
+//
+// Every decision is deterministic given the observed load counters: servers
+// and regions are considered in sorted order and ties go to the
+// lexicographically smallest ID, mirroring RestartServer's plan.
+
+// BalanceConfig tunes one balancer round.
+type BalanceConfig struct {
+	// HotspotRatio is the donor/receiver load ratio that triggers a move
+	// (default 2.0): the most-loaded server must carry more than
+	// HotspotRatio times the least-loaded server's ops.
+	HotspotRatio float64
+	// MinMoveOps is the minimum absolute load gap (ops since the previous
+	// round) worth acting on; smaller gaps are noise (default 16).
+	MinMoveOps int64
+	// MergeColdThreshold, when > 0, merges adjacent regions of a table when
+	// BOTH served fewer ops than this since the previous round — cold
+	// ranges collapse so their fixed per-region cost (stores, AUQs, scan
+	// fan-out) is reclaimed. 0 disables merging.
+	MergeColdThreshold int64
+	// MinRegionsPerTable is the floor cold merges never shrink a table
+	// below (default 2).
+	MinRegionsPerTable int
+}
+
+func (c BalanceConfig) withDefaults() BalanceConfig {
+	if c.HotspotRatio <= 1 {
+		c.HotspotRatio = 2.0
+	}
+	if c.MinMoveOps <= 0 {
+		c.MinMoveOps = 16
+	}
+	if c.MinRegionsPerTable <= 0 {
+		c.MinRegionsPerTable = 2
+	}
+	return c
+}
+
+// Move records one balancer-driven region migration.
+type Move struct {
+	Region, From, To string
+}
+
+// BalanceReport is what one balancer round observed and did.
+type BalanceReport struct {
+	// Loads is the per-server op count accumulated since the previous round
+	// (assignable servers only).
+	Loads map[string]int64
+	// Moves lists the region migrations performed (at most one per round).
+	Moves []Move
+	// Merged lists child region IDs created by cold merges (at most one
+	// merge per round).
+	Merged []string
+}
+
+// hostedRegion pairs a region with its load delta for planning.
+type hostedRegion struct {
+	id   string
+	load int64
+}
+
+// BalanceOnce runs one round of the continuous balancer: collect per-region
+// load deltas, move the region that best evens out the worst hotspot (at
+// most one move), then merge the coldest adjacent region pair (at most one
+// merge). Single-step rounds keep each round cheap and let the loop converge
+// incrementally, like HBase's balancer chore.
+func (m *Master) BalanceOnce(cfg BalanceConfig) BalanceReport {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	return m.balanceOnce(cfg)
+}
+
+func (m *Master) balanceOnce(cfg BalanceConfig) BalanceReport {
+	cfg = cfg.withDefaults()
+	reg := m.cluster.metrics
+	reg.Counter("diffindex_balance_rounds_total").Inc()
+	m.repairUnhosted()
+
+	servers := m.cluster.AssignableServerIDs()
+	sort.Strings(servers)
+	report := BalanceReport{Loads: make(map[string]int64, len(servers))}
+
+	// Collect this round's per-region load deltas, then attribute them to
+	// servers through the master's metadata (the authority on placement).
+	regionLoad := make(map[string]int64)
+	for _, id := range servers {
+		report.Loads[id] = 0
+		for rid, n := range m.cluster.Server(id).TakeRegionLoads() {
+			regionLoad[rid] += n
+		}
+	}
+	byServer := make(map[string][]hostedRegion, len(servers))
+	m.mu.RLock()
+	for _, meta := range m.tables {
+		for _, ri := range meta.regions {
+			if _, ok := report.Loads[ri.Server]; !ok {
+				continue // hosted on a crashed/draining server: not balanced here
+			}
+			load := regionLoad[ri.ID]
+			report.Loads[ri.Server] += load
+			byServer[ri.Server] = append(byServer[ri.Server], hostedRegion{ri.ID, load})
+		}
+	}
+	m.mu.RUnlock()
+
+	if mv, ok := m.planMove(cfg, servers, report.Loads, byServer); ok {
+		if moved, err := m.moveRegion(mv.Region, mv.From, mv.To); err == nil && moved {
+			report.Moves = append(report.Moves, mv)
+			reg.Counter("diffindex_balance_moves_total").Inc()
+		}
+	}
+
+	if cfg.MergeColdThreshold > 0 {
+		if child, ok := m.mergeColdOnce(cfg, regionLoad); ok {
+			report.Merged = append(report.Merged, child)
+			reg.Counter("diffindex_balance_merges_total").Inc()
+		}
+	}
+	return report
+}
+
+// planMove picks the single region migration that best evens out the load
+// gap between the most- and least-loaded servers, or reports none is worth
+// making. Moving a region of load L changes the donor/receiver gap from g to
+// |g − 2L|, so the best candidate minimizes that residual; a move is only
+// made when it strictly shrinks the gap (a region hotter than the whole gap
+// would just relocate the hotspot).
+func (m *Master) planMove(cfg BalanceConfig, servers []string, loads map[string]int64, byServer map[string][]hostedRegion) (Move, bool) {
+	if len(servers) < 2 {
+		return Move{}, false
+	}
+	donor, receiver := servers[0], servers[0]
+	for _, id := range servers[1:] {
+		if loads[id] > loads[donor] {
+			donor = id
+		}
+		if loads[id] < loads[receiver] {
+			receiver = id
+		}
+	}
+	gap := loads[donor] - loads[receiver]
+	if donor == receiver || gap < cfg.MinMoveOps ||
+		float64(loads[donor]) <= cfg.HotspotRatio*float64(loads[receiver]) {
+		return Move{}, false
+	}
+	ds := m.cluster.Server(donor)
+	if ds == nil {
+		return Move{}, false
+	}
+	cands := append([]hostedRegion(nil), byServer[donor]...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	best, bestResid := "", gap
+	for _, h := range cands {
+		if !ds.hostsUnfrozen(h.id) {
+			continue // mid-split or not actually served here
+		}
+		resid := gap - 2*h.load
+		if resid < 0 {
+			resid = -resid
+		}
+		if resid < bestResid {
+			best, bestResid = h.id, resid
+		}
+	}
+	if best == "" {
+		return Move{}, false
+	}
+	return Move{Region: best, From: donor, To: receiver}, true
+}
+
+// mergeColdOnce finds the coldest qualifying adjacent region pair across all
+// tables and merges it, returning the child region's ID. A pair qualifies
+// when both regions served fewer than MergeColdThreshold ops this round,
+// both are live and unfrozen, and the table stays at or above the region
+// floor.
+func (m *Master) mergeColdOnce(cfg BalanceConfig, regionLoad map[string]int64) (string, bool) {
+	type pair struct {
+		table        string
+		lower, upper string
+		start        []byte // lower's start key, to find the child afterwards
+		load         int64
+	}
+	var best *pair
+	m.mu.RLock()
+	tableNames := make([]string, 0, len(m.tables))
+	for name := range m.tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		meta := m.tables[name]
+		if len(meta.regions) <= cfg.MinRegionsPerTable {
+			continue
+		}
+		for i := 0; i+1 < len(meta.regions); i++ {
+			lo, hi := meta.regions[i], meta.regions[i+1]
+			ll, lok := regionLoad[lo.ID]
+			hl, hok := regionLoad[hi.ID]
+			if !lok || !hok || ll >= cfg.MergeColdThreshold || hl >= cfg.MergeColdThreshold {
+				continue
+			}
+			ls, hs := m.cluster.Server(lo.Server), m.cluster.Server(hi.Server)
+			if ls == nil || hs == nil || !ls.hostsUnfrozen(lo.ID) || !hs.hostsUnfrozen(hi.ID) {
+				continue
+			}
+			if best == nil || ll+hl < best.load || (ll+hl == best.load && lo.ID < best.lower) {
+				best = &pair{table: name, lower: lo.ID, upper: hi.ID, start: lo.Start, load: ll + hl}
+			}
+		}
+	}
+	m.mu.RUnlock()
+	if best == nil {
+		return "", false
+	}
+	if err := m.mergeRegions(best.lower, best.upper); err != nil {
+		return "", false
+	}
+	// The child took the lower parent's slot: it is the unique region of the
+	// table whose start key equals the lower parent's.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if meta, ok := m.tables[best.table]; ok {
+		for _, ri := range meta.regions {
+			if bytes.Equal(ri.Start, best.start) {
+				return ri.ID, true
+			}
+		}
+	}
+	return "", true
+}
+
+// MoveRegion migrates one region to the given live server: close on the
+// current host (dropping its AUQ), reopen on the target (WAL replay
+// reconstructs the memtable and re-enqueues index work, §5.3) — exactly the
+// steal RestartServer performs, as a standalone primitive. Returns
+// (false, nil) when the region was not movable (re-homed concurrently by
+// failure recovery, frozen mid-split, or already on the target).
+func (m *Master) MoveRegion(regionID, to string) (bool, error) {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	m.mu.RLock()
+	ri := m.findRegionLocked(regionID)
+	var from string
+	if ri != nil {
+		from = ri.Server
+	}
+	m.mu.RUnlock()
+	if ri == nil {
+		return false, fmt.Errorf("cluster: unknown region %s", regionID)
+	}
+	if from == to {
+		return false, nil
+	}
+	return m.moveRegion(regionID, from, to)
+}
+
+// repairUnhosted is the balancer's janitor pass (HBase's hbck, as a chore):
+// a region whose metadata points at a live, un-crashed server that does not
+// actually host it is re-opened there. Handoffs publish metadata before
+// opening, so a single observation may just be a move or crash recovery in
+// flight — only a region seen unhosted on the SAME server in two
+// consecutive rounds is repaired. Runs under topoMu (from balanceOnce).
+func (m *Master) repairUnhosted() {
+	var stuck []RegionInfo
+	seen := make(map[string]string)
+	m.mu.RLock()
+	for _, meta := range m.tables {
+		for _, ri := range meta.regions {
+			s := m.cluster.Server(ri.Server)
+			if s == nil || s.Crashed() || s.hostsRegion(ri.ID) {
+				continue // crash recovery owns it, or nothing is wrong
+			}
+			seen[ri.ID] = ri.Server
+			if m.unhosted[ri.ID] == ri.Server {
+				stuck = append(stuck, *ri)
+			}
+		}
+	}
+	m.mu.RUnlock()
+	m.unhosted = seen
+	for _, info := range stuck {
+		// Claim-then-open: act only if the assignment is still current.
+		m.mu.RLock()
+		cur := m.findRegionLocked(info.ID)
+		ok := cur != nil && cur.Server == info.Server
+		m.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if s := m.cluster.Server(info.Server); s != nil && !s.Crashed() {
+			s.OpenRegion(info) // idempotent, best-effort; WAL replay restores state
+		}
+	}
+}
+
+// reviveParent restores a region a failed split or merge froze (and maybe
+// closed) without ever publishing its replacement: unfreeze it if still
+// hosted, otherwise reopen it in place (WAL replay restores any unflushed
+// tail). Best-effort — if the host crashed, crash recovery re-homes the
+// region by metadata, which still routes to it.
+func (m *Master) reviveParent(info RegionInfo) {
+	m.mu.RLock()
+	cur := ""
+	if ri := m.findRegionLocked(info.ID); ri != nil {
+		cur = ri.Server
+	}
+	m.mu.RUnlock()
+	if cur == "" {
+		return // replaced in metadata: nothing routes to it anymore
+	}
+	s := m.cluster.Server(cur)
+	if s == nil || s.Crashed() {
+		return // crash recovery owns it now
+	}
+	if err := s.UnfreezeRegion(info.ID); err == nil {
+		return
+	}
+	info.Server = cur
+	s.OpenRegion(info) // best-effort; a crash beyond this point re-homes it
+}
+
+// findRegionLocked resolves a region's metadata entry; m.mu must be held.
+func (m *Master) findRegionLocked(regionID string) *RegionInfo {
+	for _, meta := range m.tables {
+		for _, ri := range meta.regions {
+			if ri.ID == regionID {
+				return ri
+			}
+		}
+	}
+	return nil
+}
+
+// moveRegion performs the migration with the topology lock held. The
+// assignment is published BEFORE the handoff: once metadata points at the
+// target, a concurrent CrashServer(donor) will not re-home the region, so
+// its store is never opened on two servers at once. Clients routing on the
+// stale map get ErrRegionNotFound/ErrServerDown and retry.
+func (m *Master) moveRegion(regionID, from, to string) (bool, error) {
+	donor, target := m.cluster.Server(from), m.cluster.Server(to)
+	if donor == nil || target == nil {
+		return false, fmt.Errorf("cluster: unknown server in move %s: %s -> %s", regionID, from, to)
+	}
+
+	// Claim: re-validate under mu immediately before publishing, so the
+	// move composes with concurrent crash/restart recovery (which also
+	// updates assignments under mu).
+	m.mu.Lock()
+	ri := m.findRegionLocked(regionID)
+	if ri == nil {
+		m.mu.Unlock()
+		return false, fmt.Errorf("cluster: unknown region %s", regionID)
+	}
+	if ri.Server != from || donor.Crashed() || target.Crashed() || !donor.hostsUnfrozen(regionID) {
+		m.mu.Unlock()
+		return false, nil // re-homed, frozen, or an endpoint died: not movable now
+	}
+	ri.Server = to
+	info := *ri
+	m.mu.Unlock()
+
+	// Handoff: close on the donor (its AUQ entries drop; WAL replay on the
+	// target reconstructs them). A routing miss means the donor crashed in
+	// the window and already released the store — equally fine.
+	if err := donor.CloseRegion(regionID); err != nil && !errors.Is(err, ErrRegionNotFound) && !errors.Is(err, ErrServerDown) {
+		return false, err
+	}
+	if err := target.OpenRegion(info); err == nil {
+		return true, nil
+	}
+
+	// The target died before adopting the region. If its crash handler
+	// already re-homed it (metadata moved on), we are done; otherwise
+	// re-home it ourselves so the region is never left unserved.
+	m.mu.Lock()
+	ri = m.findRegionLocked(regionID)
+	if ri == nil || ri.Server != to {
+		m.mu.Unlock()
+		return false, nil
+	}
+	fallback := ""
+	if !donor.Crashed() && !donor.Removed() {
+		fallback = from
+	} else {
+		for _, id := range m.cluster.AssignableServerIDs() {
+			if id != to {
+				fallback = id
+				break
+			}
+		}
+	}
+	if fallback == "" {
+		m.mu.Unlock()
+		return false, fmt.Errorf("cluster: no live server to re-home %s after failed move to %s", regionID, to)
+	}
+	ri.Server = fallback
+	info = *ri
+	m.mu.Unlock()
+	candidates := append([]string{from}, m.cluster.AssignableServerIDs()...)
+	if err := m.recoverRegion(info, candidates); err != nil {
+		return false, fmt.Errorf("cluster: re-home %s after failed move to %s: %w", regionID, to, err)
+	}
+	return false, nil
+}
+
+// DecommissionServer removes a live server from the cluster gracefully:
+// mark it draining (no new assignments), flush its regions (shrinking the
+// WAL each receiver must replay), hand every region off to the remaining
+// assignable servers round-robin, then retire the server permanently. The
+// inverse of Cluster.AddServer.
+func (m *Master) DecommissionServer(id string) error {
+	server := m.cluster.Server(id)
+	if server == nil {
+		return fmt.Errorf("cluster: unknown server %s", id)
+	}
+	if server.Removed() {
+		return fmt.Errorf("cluster: server %s already decommissioned", id)
+	}
+	if server.Crashed() {
+		// A crashed server's regions were already reassigned by CrashServer;
+		// retiring it is pure bookkeeping.
+		server.markRemoved()
+		return nil
+	}
+	server.setDraining(true)
+
+	// Best-effort flush BEFORE taking the topology lock: a flush waits out
+	// any in-flight replay dispatch on the region's write gate, and that
+	// dispatch may itself be blocked until the balancer's repair pass (which
+	// needs topoMu) heals some other region.
+	_ = server.FlushAll()
+
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+
+	// Hand off every region routed to this server. A single pass can skip
+	// regions — moveRegion declines when a target crashed mid-move or a
+	// concurrent restart stole the region first — so re-scan until nothing
+	// is routed here. Retiring the server while metadata still points at it
+	// would strand those ranges: markRemoved crashes the server WITHOUT the
+	// master-side reassignment CrashServer performs.
+	for pass := 0; ; pass++ {
+		targets := m.cluster.AssignableServerIDs()
+		if len(targets) == 0 {
+			server.setDraining(false)
+			return fmt.Errorf("cluster: cannot decommission %s: no other assignable server", id)
+		}
+		sort.Strings(targets)
+
+		m.mu.RLock()
+		var regions []string
+		for _, meta := range m.tables {
+			for _, ri := range meta.regions {
+				if ri.Server == id {
+					regions = append(regions, ri.ID)
+				}
+			}
+		}
+		m.mu.RUnlock()
+		if len(regions) == 0 {
+			break
+		}
+		if pass >= 8 {
+			server.setDraining(false)
+			return fmt.Errorf("cluster: decommission %s: %d regions still routed here after %d passes", id, len(regions), pass)
+		}
+		sort.Strings(regions)
+		for i, rid := range regions {
+			if _, err := m.moveRegion(rid, id, targets[i%len(targets)]); err != nil {
+				server.setDraining(false)
+				return fmt.Errorf("cluster: decommission %s: %w", id, err)
+			}
+		}
+	}
+	server.markRemoved()
+	return nil
+}
+
+// StartBalancer runs BalanceOnce(cfg) every interval until StopBalancer (or
+// cluster Close). Idempotent: a second start while running is a no-op.
+func (m *Master) StartBalancer(interval time.Duration, cfg BalanceConfig) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	m.balMu.Lock()
+	defer m.balMu.Unlock()
+	if m.balStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	m.balStop = stop
+	m.balWG.Add(1)
+	go func() {
+		defer m.balWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.BalanceOnce(cfg)
+			}
+		}
+	}()
+}
+
+// StopBalancer stops the continuous balancer loop and waits for the
+// in-flight round to finish. Safe to call when the balancer never started.
+func (m *Master) StopBalancer() {
+	m.balMu.Lock()
+	stop := m.balStop
+	m.balStop = nil
+	m.balMu.Unlock()
+	if stop != nil {
+		close(stop)
+		m.balWG.Wait()
+	}
+}

@@ -12,6 +12,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"diffindex/internal/kv"
@@ -151,8 +152,10 @@ type Coprocessor interface {
 	// PostDelete runs after row columns have been tombstoned.
 	PostDelete(ctx RegionCtx, row []byte, cols []string, ts kv.Timestamp) error
 	// PreFlush runs at the start of a region flush while writes are paused:
-	// Diff-Index drains the AUQ here (§5.3).
-	PreFlush(ctx RegionCtx)
+	// Diff-Index drains the AUQ here (§5.3). A non-nil error aborts the
+	// flush before the memtable swap — returned when the drain cannot
+	// complete (region closing), so the WAL keeps the undrained work.
+	PreFlush(ctx RegionCtx) error
 	// OnReplay is invoked for every cell recovered from the WAL when a
 	// region reopens: Diff-Index re-enqueues index work (§5.3).
 	OnReplay(ctx RegionCtx, c kv.Cell)
@@ -184,7 +187,15 @@ type Cluster struct {
 	// failure handling).
 	Master *Master
 
-	servers map[string]*RegionServer
+	// smu guards the mutable server set: AddServer grows it at runtime and
+	// DecommissionServer marks members removed, so every reader takes the
+	// lock. order keeps the IDs in creation order (rs1, rs2, …) — a stable
+	// ordering that survives additions, unlike sorting (rs10 < rs2).
+	smu          sync.RWMutex
+	servers      map[string]*RegionServer
+	order        []string
+	nextServerID int
+
 	coprocs map[string]Coprocessor // by table name
 	// retainTomb marks tables whose stores must keep delete markers
 	// through every compaction (global-index tables: at-least-once async
@@ -241,8 +252,24 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Servers; i++ {
 		id := fmt.Sprintf("rs%d", i+1)
 		c.servers[id] = newRegionServer(c, id)
+		c.order = append(c.order, id)
 	}
+	c.nextServerID = cfg.Servers + 1
 	return c
+}
+
+// AddServer brings a brand-new, empty region server online and returns its
+// ID. The server holds no regions until the balancer (or an explicit
+// MoveRegion) hands it load — the live scale-out path of the elastic
+// cluster.
+func (c *Cluster) AddServer() string {
+	c.smu.Lock()
+	id := fmt.Sprintf("rs%d", c.nextServerID)
+	c.nextServerID++
+	c.servers[id] = newRegionServer(c, id)
+	c.order = append(c.order, id)
+	c.smu.Unlock()
+	return id
 }
 
 // noteWave records scatter-gather fan-out activity: rpcs per-region calls
@@ -279,14 +306,25 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 // Tracer mints the per-operation traces for this cluster's clients.
 func (c *Cluster) Tracer() *metrics.Tracer { return c.tracer }
 
-// Server returns a region server by ID (nil if unknown).
-func (c *Cluster) Server(id string) *RegionServer { return c.servers[id] }
+// Server returns a region server by ID (nil if unknown). Removed servers
+// are still resolvable so requests racing a decommission fail with
+// ErrServerDown instead of a nil dereference.
+func (c *Cluster) Server(id string) *RegionServer {
+	c.smu.RLock()
+	defer c.smu.RUnlock()
+	return c.servers[id]
+}
 
-// ServerIDs returns all server IDs, live or crashed, in stable order.
+// ServerIDs returns all non-removed server IDs, live or crashed, in creation
+// order.
 func (c *Cluster) ServerIDs() []string {
-	ids := make([]string, 0, len(c.servers))
-	for i := 0; i < len(c.servers); i++ {
-		ids = append(ids, fmt.Sprintf("rs%d", i+1))
+	c.smu.RLock()
+	defer c.smu.RUnlock()
+	ids := make([]string, 0, len(c.order))
+	for _, id := range c.order {
+		if !c.servers[id].Removed() {
+			ids = append(ids, id)
+		}
 	}
 	return ids
 }
@@ -295,7 +333,19 @@ func (c *Cluster) ServerIDs() []string {
 func (c *Cluster) LiveServerIDs() []string {
 	var out []string
 	for _, id := range c.ServerIDs() {
-		if !c.servers[id].Crashed() {
+		if s := c.Server(id); s != nil && !s.Crashed() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AssignableServerIDs returns the live servers the master may place regions
+// on: not crashed, not removed, not draining toward removal.
+func (c *Cluster) AssignableServerIDs() []string {
+	var out []string
+	for _, id := range c.LiveServerIDs() {
+		if s := c.Server(id); s != nil && !s.Draining() {
 			out = append(out, id)
 		}
 	}
@@ -307,7 +357,7 @@ func (c *Cluster) LiveServerIDs() []string {
 // disk-bound as in §8.1.
 func (c *Cluster) FlushAll() error {
 	for _, id := range c.ServerIDs() {
-		if err := c.servers[id].FlushAll(); err != nil {
+		if err := c.Server(id).FlushAll(); err != nil {
 			return err
 		}
 	}
@@ -319,7 +369,7 @@ func (c *Cluster) FlushAll() error {
 // wait here before asserting on post-compaction state.
 func (c *Cluster) WaitCompactions() {
 	for _, id := range c.ServerIDs() {
-		c.servers[id].WaitCompactions()
+		c.Server(id).WaitCompactions()
 	}
 }
 
@@ -328,12 +378,13 @@ func (c *Cluster) WaitCompactions() {
 // their work immediately instead of retrying against servers that are about
 // to close.
 func (c *Cluster) Close() error {
+	c.Master.StopBalancer()
 	for _, id := range c.ServerIDs() {
-		c.servers[id].markDown()
+		c.Server(id).markDown()
 	}
 	var firstErr error
 	for _, id := range c.ServerIDs() {
-		if err := c.servers[id].close(); err != nil && firstErr == nil && !errors.Is(err, ErrServerDown) {
+		if err := c.Server(id).close(); err != nil && firstErr == nil && !errors.Is(err, ErrServerDown) {
 			firstErr = err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"diffindex/internal/kv"
 	"diffindex/internal/lsm"
@@ -391,10 +392,11 @@ func (r *recordingCoprocessor) PostDelete(ctx RegionCtx, row []byte, cols []stri
 	r.deletes = append(r.deletes, string(row))
 	return nil
 }
-func (r *recordingCoprocessor) PreFlush(ctx RegionCtx) {
+func (r *recordingCoprocessor) PreFlush(ctx RegionCtx) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.preFlush++
+	return nil
 }
 func (r *recordingCoprocessor) OnRegionClose(ctx RegionCtx) {}
 func (r *recordingCoprocessor) OnReplay(ctx RegionCtx, c kv.Cell) {
@@ -441,20 +443,26 @@ func TestCoprocessorHooks(t *testing.T) {
 	if err := c.Master.CrashServer(ri.Server); err != nil {
 		t.Fatal(err)
 	}
+	// OnReplay dispatch runs in the background after the region reopens.
+	if !WaitFor(2*time.Second, func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		for _, r := range rec.replays {
+			if r == "r3" {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Error("unflushed row r3 not replayed")
+	}
 	rec.mu.Lock()
 	replays := append([]string(nil), rec.replays...)
 	rec.mu.Unlock()
-	found := false
 	for _, r := range replays {
-		if r == "r3" {
-			found = true
-		}
 		if r == "r1" || r == "r2" {
 			t.Errorf("flushed row %s replayed", r)
 		}
-	}
-	if !found {
-		t.Error("unflushed row r3 not replayed")
 	}
 }
 

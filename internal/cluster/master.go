@@ -18,6 +18,23 @@ type Master struct {
 	mu     sync.RWMutex
 	tables map[string]*tableMeta
 	rr     int // round-robin assignment cursor
+
+	// topoMu serializes region-topology mutations: splits, merges, balancer
+	// moves and decommissions. Crash and restart handling deliberately do
+	// NOT take it — failure recovery must preempt a topology change that may
+	// be stalled behind a fault window; the individual operations tolerate
+	// that preemption by re-validating metadata under mu.
+	topoMu sync.Mutex
+
+	// Continuous balancer loop state (see balance.go).
+	balMu   sync.Mutex
+	balStop chan struct{}
+	balWG   sync.WaitGroup
+
+	// unhosted tracks regions observed routed to a live server that does
+	// not actually host them, keyed region ID → server ID. Guarded by
+	// topoMu: only the balancer's repair pass reads or writes it.
+	unhosted map[string]string
 }
 
 type tableMeta struct {
@@ -61,7 +78,7 @@ func (m *Master) createTable(name string, splits [][]byte, raw bool) error {
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrTableExists, name)
 	}
-	live := m.cluster.LiveServerIDs()
+	live := m.cluster.AssignableServerIDs()
 	if len(live) == 0 {
 		m.mu.Unlock()
 		return ErrNoLiveServers
@@ -147,9 +164,14 @@ func (m *Master) CrashServer(id string) error {
 	}
 	server.crash()
 
-	// Reassign every region that was hosted by the dead server.
+	// Reassign every region that was hosted by the dead server. Prefer
+	// assignable servers; fall back to any live server so recovery never
+	// stalls just because the survivors are draining.
 	m.mu.Lock()
-	live := m.cluster.LiveServerIDs()
+	live := m.cluster.AssignableServerIDs()
+	if len(live) == 0 {
+		live = m.cluster.LiveServerIDs()
+	}
 	if len(live) == 0 {
 		m.mu.Unlock()
 		return ErrNoLiveServers
@@ -170,12 +192,61 @@ func (m *Master) CrashServer(id string) error {
 	}
 	m.mu.Unlock()
 
+	// Reopen every reassigned region, falling back to other live servers
+	// when an open fails (the chosen server crashed in the window, or a
+	// fault-injected disk error hit the reopen). One region's failure must
+	// not strand the rest un-recovered.
+	var firstErr error
 	for _, ri := range recover {
-		if err := m.cluster.Server(ri.Server).OpenRegion(ri); err != nil {
-			return err
+		if err := m.recoverRegion(ri, live); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
+}
+
+// recoverRegion opens a region on its published server, re-targeting it to
+// the other candidates when the open fails. Every re-target republishes the
+// assignment under mu before opening — the claim-then-open discipline all
+// placement paths follow, so concurrent recovery never double-opens a
+// region's store.
+func (m *Master) recoverRegion(ri RegionInfo, candidates []string) error {
+	tried := make(map[string]bool, len(candidates)+1)
+	var lastErr error
+	for {
+		tried[ri.Server] = true
+		if s := m.cluster.Server(ri.Server); s != nil && !s.Crashed() {
+			if err := s.OpenRegion(ri); err == nil {
+				return nil
+			} else {
+				lastErr = err
+			}
+		}
+		next := ""
+		for _, id := range candidates {
+			if s := m.cluster.Server(id); !tried[id] && s != nil && !s.Crashed() && !s.Removed() {
+				next = id
+				break
+			}
+		}
+		if next == "" {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("cluster: no live server could adopt region %s", ri.ID)
+			}
+			return lastErr
+		}
+		m.mu.Lock()
+		cur := m.findRegionLocked(ri.ID)
+		if cur == nil || cur.Server != ri.Server {
+			// Someone else re-homed (or dissolved) the region meanwhile;
+			// their claim wins.
+			m.mu.Unlock()
+			return nil
+		}
+		cur.Server = next
+		ri = *cur
+		m.mu.Unlock()
+	}
 }
 
 // RestartServer brings a crashed region server back online: the server
@@ -191,6 +262,9 @@ func (m *Master) RestartServer(id string) error {
 	server := m.cluster.Server(id)
 	if server == nil {
 		return fmt.Errorf("cluster: unknown server %s", id)
+	}
+	if server.Removed() {
+		return fmt.Errorf("cluster: server %s was decommissioned and cannot restart", id)
 	}
 	if !server.Crashed() {
 		return fmt.Errorf("cluster: server %s is not down", id)
@@ -261,19 +335,26 @@ func (m *Master) RestartServer(id string) error {
 	}
 	m.mu.Unlock()
 
+	var firstErr error
 	for _, mv := range moves {
 		if mv.from != "" {
 			// Close on the donor first: its AUQ entries for the region are
-			// dropped and reconstructed by WAL replay on the new host.
-			if err := m.cluster.Server(mv.from).CloseRegion(mv.info.ID); err != nil && !errors.Is(err, ErrRegionNotFound) {
-				return err
+			// dropped and reconstructed by WAL replay on the new host. A
+			// routing miss or a donor that crashed in the window already
+			// released the store.
+			if err := m.cluster.Server(mv.from).CloseRegion(mv.info.ID); err != nil &&
+				!errors.Is(err, ErrRegionNotFound) && !errors.Is(err, ErrServerDown) && firstErr == nil {
+				firstErr = err
 			}
 		}
-		if err := server.OpenRegion(mv.info); err != nil {
-			return err
+		// recoverRegion retries the open and falls back to other live
+		// servers, so one failed adoption never strands the region (or the
+		// rest of the plan) unserved.
+		if err := m.recoverRegion(mv.info, live); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 func sortRegionPtrs(regions []*RegionInfo) {

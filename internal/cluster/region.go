@@ -56,6 +56,9 @@ type Region struct {
 	// frozen marks the region as mid-split: requests bounce with
 	// ErrRegionNotFound so clients re-route once the children appear.
 	frozen atomic.Bool
+	// ops counts data RPCs served by this region since the balancer last
+	// collected loads (TakeRegionLoads swaps it back to zero).
+	ops atomic.Int64
 }
 
 // Store exposes the region's LSM store to coprocessors (local base reads,

@@ -24,7 +24,19 @@ type RegionServer struct {
 
 	mu      sync.RWMutex
 	regions map[string]*Region
+	opening map[string]struct{} // region IDs with an OpenRegion in flight
 	crashed atomic.Bool
+	// draining marks a server being decommissioned: it still serves its
+	// regions while the master hands them off, but receives no new
+	// assignments. removed marks the decommission complete; the server is
+	// permanently out of the cluster and may not be restarted.
+	draining atomic.Bool
+	removed  atomic.Bool
+
+	// ops counts every data RPC routed to a hosted region — the per-server
+	// load signal the continuous balancer's hotspot detection reads (also
+	// exported as diffindex_server_ops_total{server}).
+	ops *metrics.Counter
 }
 
 func newRegionServer(c *Cluster, id string) *RegionServer {
@@ -33,6 +45,8 @@ func newRegionServer(c *Cluster, id string) *RegionServer {
 		cluster: c,
 		cache:   sstable.NewBlockCache(c.cfg.BlockCacheBytes),
 		regions: make(map[string]*Region),
+		opening: make(map[string]struct{}),
+		ops:     c.metrics.Counter("diffindex_server_ops_total", metrics.L("server", id)),
 	}
 	// Computed gauges read through CacheStats so they keep reporting the
 	// replacement cache after a crash.
@@ -62,6 +76,44 @@ func (s *RegionServer) CacheStats() (hits, misses int64) {
 // Crashed reports whether the server is down.
 func (s *RegionServer) Crashed() bool { return s.crashed.Load() }
 
+// Draining reports whether the server is being decommissioned: still
+// serving, but receiving no new region assignments.
+func (s *RegionServer) Draining() bool { return s.draining.Load() }
+
+// Removed reports whether the server has been decommissioned out of the
+// cluster for good.
+func (s *RegionServer) Removed() bool { return s.removed.Load() }
+
+// setDraining flips the decommission-in-progress flag.
+func (s *RegionServer) setDraining(v bool) { s.draining.Store(v) }
+
+// markRemoved finalizes a decommission: the server is down and will never
+// come back (RestartServer refuses removed servers).
+func (s *RegionServer) markRemoved() {
+	s.removed.Store(true)
+	s.crash()
+}
+
+// Ops returns the cumulative count of data RPCs served (the balancer's
+// per-server load signal).
+func (s *RegionServer) Ops() int64 { return s.ops.Load() }
+
+// TakeRegionLoads returns each hosted region's operation count accumulated
+// since the previous call, resetting the counters — one balancer round's
+// per-region load deltas.
+func (s *RegionServer) TakeRegionLoads() map[string]int64 {
+	if s.crashed.Load() {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64, len(s.regions))
+	for id, r := range s.regions {
+		out[id] = r.ops.Swap(0)
+	}
+	return out
+}
+
 func regionDir(info RegionInfo) string {
 	return fmt.Sprintf("tables/%s/%s", info.Table, info.ID)
 }
@@ -84,11 +136,30 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 	if s.crashed.Load() {
 		return ErrServerDown
 	}
+	// Reserve the slot first: recovery paths (crash re-homing, the repair
+	// pass, a retried move) may race each other onto the same server, and
+	// two lsm stores must never be open on one region directory at once.
+	// An already-hosted or already-opening region makes the open a no-op.
+	s.mu.Lock()
+	if _, ok := s.regions[info.ID]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	if _, ok := s.opening[info.ID]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.opening[info.ID] = struct{}{}
+	cache := s.cache
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.opening, info.ID)
+		s.mu.Unlock()
+	}()
+
 	region := &Region{Info: info, server: s}
 	var replayed []kv.Cell
-	s.mu.RLock()
-	cache := s.cache
-	s.mu.RUnlock()
 	store, err := lsm.Open(lsm.Options{
 		FS:                       s.cluster.FS,
 		Dir:                      regionDir(info),
@@ -121,10 +192,11 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 	region.store = store
 
 	ctx := RegionCtx{Region: region, Server: s, Cluster: s.cluster}
-	store.RegisterPreFlush(func() {
+	store.RegisterPreFlush(func() error {
 		if cp := s.cluster.coprocessor(info.Table); cp != nil {
-			cp.PreFlush(ctx)
+			return cp.PreFlush(ctx)
 		}
+		return nil
 	})
 	store.RegisterPostCompact(func(gc lsm.CompactionGC) {
 		// A crashed server's regions are closed, but a round that was
@@ -139,13 +211,44 @@ func (s *RegionServer) OpenRegion(info RegionInfo) error {
 	})
 
 	s.mu.Lock()
+	if s.crashed.Load() {
+		// The server died while the store was opening: crash() already
+		// swept s.regions, so registering now would leave a live store on
+		// a dead server while recovery reopens the region elsewhere.
+		s.mu.Unlock()
+		store.Close()
+		return ErrServerDown
+	}
 	s.regions[info.ID] = region
 	s.mu.Unlock()
 
-	if cp := s.cluster.coprocessor(info.Table); cp != nil {
-		for _, c := range replayed {
-			cp.OnReplay(ctx, c)
+	if cp := s.cluster.coprocessor(info.Table); cp != nil && len(replayed) > 0 {
+		// The replayed cells already sit in the memtable; re-enqueueing
+		// their index work must be atomic with respect to flushes, exactly
+		// like the put pipeline (§5.3 PR(Flushed) = ∅). Outside the gate an
+		// auto-flush could truncate the WAL before a replayed task is back
+		// in the AUQ, and a subsequent region close would then drop the
+		// task with no replay source left.
+		//
+		// The dispatch runs in the background: enqueues can block on AUQ
+		// backpressure until some other region heals, and OpenRegion's
+		// callers (a balancer move, crash recovery) may hold the topology
+		// lock that healing needs — blocking here would deadlock recovery
+		// against admission control. ReplayStarted keeps the work visible
+		// to convergence waits until the dispatch finishes.
+		done := func() {}
+		if rs, ok := cp.(interface{ ReplayStarted(int) func() }); ok {
+			done = rs.ReplayStarted(len(replayed))
 		}
+		go func() {
+			defer done()
+			_ = store.Pipeline(func() error {
+				for _, c := range replayed {
+					cp.OnReplay(ctx, c)
+				}
+				return nil
+			})
+		}()
 	}
 	return nil
 }
@@ -178,6 +281,11 @@ func (s *RegionServer) region(id string) (*Region, error) {
 	if region.frozen.Load() {
 		return nil, ErrRegionNotFound // mid-split: clients re-route and retry
 	}
+	// Every data RPC that resolved a region counts toward the hotspot
+	// signal: per region for placement decisions, per server for imbalance
+	// detection.
+	region.ops.Add(1)
+	s.ops.Inc()
 	return region, nil
 }
 
@@ -194,6 +302,22 @@ func (s *RegionServer) FreezeRegion(id string) error {
 		return ErrRegionNotFound
 	}
 	region.frozen.Store(true)
+	return nil
+}
+
+// UnfreezeRegion reverts FreezeRegion — the failure path of a split or
+// merge that froze a parent it could not finish dismantling.
+func (s *RegionServer) UnfreezeRegion(id string) error {
+	if s.crashed.Load() {
+		return ErrServerDown
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	region, ok := s.regions[id]
+	if !ok {
+		return ErrRegionNotFound
+	}
+	region.frozen.Store(false)
 	return nil
 }
 
@@ -506,8 +630,22 @@ func (s *RegionServer) restart() {
 	s.mu.Lock()
 	s.cache = sstable.NewBlockCache(s.cluster.cfg.BlockCacheBytes)
 	s.regions = make(map[string]*Region)
+	s.opening = make(map[string]struct{})
 	s.mu.Unlock()
 	s.crashed.Store(false)
+}
+
+// hostsRegion reports whether the server holds the region at all — frozen,
+// serving, or with an open still in flight. The repair pass uses it: any of
+// those states means the region is not stranded.
+func (s *RegionServer) hostsRegion(regionID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.regions[regionID]; ok {
+		return true
+	}
+	_, ok := s.opening[regionID]
+	return ok
 }
 
 // hostsUnfrozen reports whether the server currently serves the region and

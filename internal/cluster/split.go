@@ -22,6 +22,15 @@ import (
 // partition map. Timestamps are preserved, so the copy is idempotent under
 // LSM semantics.
 func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
+	// Serialize against merges, balancer moves and decommissions: two
+	// topology operations must never close/open the same region's store
+	// concurrently. Crash/restart recovery intentionally bypasses this lock.
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	return m.splitRegion(regionID, splitKey)
+}
+
+func (m *Master) splitRegion(regionID string, splitKey []byte) error {
 	// Locate the parent and validate the split point.
 	m.mu.Lock()
 	var meta *tableMeta
@@ -43,7 +52,10 @@ func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
 		return fmt.Errorf("cluster: split key %q outside region %s", splitKey, parent)
 	}
 	server := m.cluster.Server(parent.Server)
-	live := m.cluster.LiveServerIDs()
+	live := m.cluster.AssignableServerIDs()
+	if len(live) == 0 {
+		live = m.cluster.LiveServerIDs()
+	}
 	if server == nil || server.Crashed() || len(live) == 0 {
 		m.mu.Unlock()
 		return ErrServerDown
@@ -66,7 +78,19 @@ func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
 		Server: upperServer,
 	}
 	raw := meta.raw
+	parentInfo := *parent
 	m.mu.Unlock()
+
+	// Any failure past the freeze must put the parent back in service:
+	// close partially opened children, then unfreeze or reopen the parent
+	// wherever the metadata still routes to it. Leaving it frozen or
+	// unhosted would bounce its key range forever.
+	fail := func(err error) error {
+		m.cluster.Server(lower.Server).CloseRegion(lower.ID)
+		m.cluster.Server(upper.Server).CloseRegion(upper.ID)
+		m.reviveParent(parentInfo)
+		return err
+	}
 
 	// Freeze: the parent stops accepting requests; clients back off.
 	if err := server.FreezeRegion(regionID); err != nil {
@@ -76,43 +100,47 @@ func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
 	// memtable; the WAL rolls forward, so the persisted SSTables are the
 	// complete region state.
 	if err := server.Flush(regionID); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := server.CloseRegion(regionID); err != nil {
-		return err
+		return fail(err)
 	}
 
 	// Re-open the parent's store read-only to stream its live data. The
 	// WAL is empty after the flush; replaying it is a no-op.
 	parentStore, err := lsm.Open(lsm.Options{
 		FS:                 m.cluster.FS,
-		Dir:                regionDir(*parent),
+		Dir:                regionDir(parentInfo),
 		DisableAutoFlush:   true,
 		DisableAutoCompact: true,
 	})
 	if err != nil {
-		return fmt.Errorf("cluster: reopen parent for split: %w", err)
+		return fail(fmt.Errorf("cluster: reopen parent for split: %w", err))
 	}
-	cells, err := parentStore.Scan(nil, nil, kv.MaxTimestamp, 0)
+	// ScanAll copies the full MVCC history — every version plus tombstones.
+	// Without tombstones a late-redelivered index cell (at-least-once
+	// delivery) could resurrect a superseded entry in the child; without
+	// older base versions a redelivered AUQ task could miss its pre-image
+	// read and skip the superseded-entry delete.
+	cells, err := parentStore.ScanAll(nil, nil, kv.MaxTimestamp)
 	parentStore.Close()
 	if err != nil {
-		return err
+		return fail(err)
 	}
 
 	// Open the children and route the parent's cells into them.
 	if err := m.cluster.Server(lower.Server).OpenRegion(*lower); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := m.cluster.Server(upper.Server).OpenRegion(*upper); err != nil {
-		return err
+		return fail(err)
 	}
 	var lowerCells, upperCells []kv.Cell
-	for _, res := range cells {
-		route, err := routingKeyOf(raw, res.Key)
+	for _, cell := range cells {
+		route, err := routingKeyOf(raw, cell.Key)
 		if err != nil {
-			return fmt.Errorf("cluster: split routing: %w", err)
+			return fail(fmt.Errorf("cluster: split routing: %w", err))
 		}
-		cell := kv.Cell{Key: res.Key, Value: res.Value, Ts: res.Ts, Kind: kv.KindPut}
 		if bytes.Compare(route, splitKey) < 0 {
 			lowerCells = append(lowerCells, cell)
 		} else {
@@ -120,20 +148,28 @@ func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
 		}
 	}
 	if err := applyChunked(m.cluster.Server(lower.Server), lower.ID, lowerCells); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := applyChunked(m.cluster.Server(upper.Server), upper.ID, upperCells); err != nil {
-		return err
+		return fail(err)
 	}
 
 	// Publish the children; clients refresh on their next routing miss.
+	// Re-validate first: if the parent's host crashed mid-split, recovery
+	// re-homed and REOPENED the parent elsewhere, and it may have accepted
+	// writes the children never saw — publishing would lose them. Abandon
+	// the split instead (the reopened parent keeps serving).
 	m.mu.Lock()
+	if cur := m.findRegionLocked(parentInfo.ID); cur == nil || cur.Server != parentInfo.Server {
+		m.mu.Unlock()
+		return fail(fmt.Errorf("cluster: split of %s preempted by crash recovery", parentInfo.ID))
+	}
 	meta.regions = append(meta.regions[:idx], append([]*RegionInfo{lower, upper}, meta.regions[idx+1:]...)...)
 	m.mu.Unlock()
 
 	// Garbage-collect the parent's files (its data now lives in the
 	// children's stores and WALs).
-	if names, err := m.cluster.FS.List(regionDir(*parent) + "/"); err == nil {
+	if names, err := m.cluster.FS.List(regionDir(parentInfo) + "/"); err == nil {
 		for _, name := range names {
 			m.cluster.FS.Remove(name)
 		}
@@ -146,6 +182,14 @@ func (m *Master) SplitRegion(regionID string, splitKey []byte) error {
 // (draining their AUQs) and closed; their data streams into a fresh child
 // covering the union range, hosted on the lower parent's server.
 func (m *Master) MergeRegions(lowerID, upperID string) error {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	return m.mergeRegions(lowerID, upperID)
+}
+
+// mergeRegions is MergeRegions without the topology lock, for callers that
+// already hold it (the balancer's cold-merge pass).
+func (m *Master) mergeRegions(lowerID, upperID string) error {
 	m.mu.Lock()
 	var meta *tableMeta
 	var idx int // index of the lower region
@@ -179,7 +223,17 @@ func (m *Master) MergeRegions(lowerID, upperID string) error {
 		End:    upper.End,
 		Server: lower.Server,
 	}
+	lowerInfo, upperInfo := *lower, *upper
 	m.mu.Unlock()
+
+	// Any failure past the first freeze must put both parents back in
+	// service (see splitRegion's twin cleanup).
+	fail := func(err error) error {
+		m.cluster.Server(child.Server).CloseRegion(child.ID)
+		m.reviveParent(lowerInfo)
+		m.reviveParent(upperInfo)
+		return err
+	}
 
 	// Freeze, flush (drain), close both parents.
 	for _, p := range []struct {
@@ -187,50 +241,57 @@ func (m *Master) MergeRegions(lowerID, upperID string) error {
 		id string
 	}{{ls, lowerID}, {us, upperID}} {
 		if err := p.s.FreezeRegion(p.id); err != nil {
-			return err
+			return fail(err)
 		}
 		if err := p.s.Flush(p.id); err != nil {
-			return err
+			return fail(err)
 		}
 		if err := p.s.CloseRegion(p.id); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 
 	// Stream both parents' persisted data into the child.
 	if err := m.cluster.Server(child.Server).OpenRegion(*child); err != nil {
-		return err
+		return fail(err)
 	}
-	for _, parent := range []*RegionInfo{lower, upper} {
+	for _, parent := range []RegionInfo{lowerInfo, upperInfo} {
 		store, err := lsm.Open(lsm.Options{
 			FS:                 m.cluster.FS,
-			Dir:                regionDir(*parent),
+			Dir:                regionDir(parent),
 			DisableAutoFlush:   true,
 			DisableAutoCompact: true,
 		})
 		if err != nil {
-			return fmt.Errorf("cluster: reopen parent for merge: %w", err)
+			return fail(fmt.Errorf("cluster: reopen parent for merge: %w", err))
 		}
-		results, err := store.Scan(nil, nil, kv.MaxTimestamp, 0)
+		// ScanAll copies the full MVCC history (see splitRegion): the merged
+		// child must keep masking late-redelivered index cells and keep
+		// answering pre-image reads for redelivered AUQ tasks.
+		cells, err := store.ScanAll(nil, nil, kv.MaxTimestamp)
 		store.Close()
 		if err != nil {
-			return err
-		}
-		cells := make([]kv.Cell, len(results))
-		for i, res := range results {
-			cells[i] = kv.Cell{Key: res.Key, Value: res.Value, Ts: res.Ts, Kind: kv.KindPut}
+			return fail(err)
 		}
 		if err := applyChunked(m.cluster.Server(child.Server), child.ID, cells); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 
-	// Publish the child, GC the parents' files.
+	// Publish the child, GC the parents' files. Re-validate first (see
+	// splitRegion): a parent re-homed by crash recovery mid-merge was
+	// reopened elsewhere and may hold writes the child never saw.
 	m.mu.Lock()
+	for _, parent := range []RegionInfo{lowerInfo, upperInfo} {
+		if cur := m.findRegionLocked(parent.ID); cur == nil || cur.Server != parent.Server {
+			m.mu.Unlock()
+			return fail(fmt.Errorf("cluster: merge of %s preempted by crash recovery", parent.ID))
+		}
+	}
 	meta.regions = append(meta.regions[:idx], append([]*RegionInfo{child}, meta.regions[idx+2:]...)...)
 	m.mu.Unlock()
-	for _, parent := range []*RegionInfo{lower, upper} {
-		if names, err := m.cluster.FS.List(regionDir(*parent) + "/"); err == nil {
+	for _, parent := range []RegionInfo{lowerInfo, upperInfo} {
+		if names, err := m.cluster.FS.List(regionDir(parent) + "/"); err == nil {
 			for _, name := range names {
 				m.cluster.FS.Remove(name)
 			}

@@ -48,6 +48,9 @@ type auq struct {
 	// delivery records enqueue→durable latency per completed task (the
 	// aps-delivery stage, observed after the fact).
 	delivery *metrics.Histogram
+	// shed counts arrivals degraded to the synchronous path by the
+	// MaxBacklog admission cap.
+	shed *metrics.Counter
 
 	// mu orders enqueues against kill: enqueuers hold it shared while
 	// sending, kill takes it exclusively before closing the channel.
@@ -61,6 +64,7 @@ func newAUQ(m *Manager, ctx cluster.RegionCtx) *auq {
 		ctx:      ctx,
 		ch:       make(chan task, m.opts.QueueCapacity),
 		delivery: m.stageHist(metrics.StageAPSDeliver, ctx.Region.Info.Table),
+		shed:     m.reg.Counter("diffindex_auq_shed_total", metrics.L("table", ctx.Region.Info.Table)),
 	}
 	for i := 0; i < m.opts.Workers; i++ {
 		q.wg.Add(1)
@@ -71,31 +75,73 @@ func newAUQ(m *Manager, ctx cluster.RegionCtx) *auq {
 
 // enqueue adds a task (AU1). It is always called inside the region's write
 // pipeline, so it cannot race with the exclusive pause-and-drain phase of a
-// flush. A full queue applies backpressure to the writer — the resource
-// contention the paper observes for async at high load (§8.2, Fig. 7).
+// flush. Without an admission cap a full queue applies backpressure to the
+// writer — the resource contention the paper observes for async at high
+// load (§8.2, Fig. 7). With MaxBacklog set, an arrival that would push the
+// backlog past the cap is shed to the synchronous path instead.
 func (q *auq) enqueue(t task) {
+	q.mu.RLock()
+	if q.killed.Load() {
+		q.mu.RUnlock()
+		return // region is gone; WAL replay will reconstruct the work
+	}
+	n := q.pending.Add(1)
+	if max := int64(q.m.opts.MaxBacklog); max > 0 && n > max {
+		// Admission control: over the cap, degrade to sync. The pending slot
+		// stays held until the task resolves — a concurrent flush's drain
+		// must wait for it, or the flush could truncate the WAL record of a
+		// task whose inline maintenance then fails, losing the update.
+		q.mu.RUnlock()
+		q.shedToSync(t)
+		return
+	}
+	// A full queue blocks here (backpressure); the workers keep consuming,
+	// and kill cannot close the channel while we hold the lock shared.
+	q.ch <- t
+	q.mu.RUnlock()
+}
+
+// shedToSync is the admission-control overflow path: perform the task's
+// index maintenance inline on the writer (the synchronous algorithm), as if
+// the index were sync-configured for this one put. The backlog stays at the
+// cap and index staleness stays bounded — the async scheme degrades toward
+// sync under overload instead of growing an unbounded queue. If the inline
+// maintenance fails (destination mid-fault), the task falls back to a
+// blocking enqueue: a transient cap overshoot beats losing the work.
+func (q *auq) shedToSync(t task) {
+	q.shed.Inc()
+	q.m.shedTotal.Add(1)
+	if err := q.m.applyIndexUpdatesFor(q.ctx, t, false, q.m.relevantIndexes(q.ctx, t)); err == nil {
+		q.m.observeStaleness(t.enqueuedAt)
+		q.pending.Add(-1)
+		return
+	}
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.killed.Load() {
-		return // region is gone; WAL replay will reconstruct the work
+		// Region closed mid-shed. The held pending slot kept every flush
+		// drain waiting on this task, so its base cell is still in the WAL
+		// and replay reconstructs the work at the region's next host.
+		q.pending.Add(-1)
+		return
 	}
-	q.pending.Add(1)
-	// A full queue blocks here (backpressure); the workers keep consuming,
-	// and kill cannot close the channel while we hold the lock shared.
 	q.ch <- t
 }
 
 // drain blocks until every queued and in-flight task has completed — the
 // "1. pause & drain" step of Figure 5. It runs inside the store's exclusive
 // write gate, which is what pauses the AUQ's intake: no pipeline can
-// enqueue while the flush holds the gate. Returns early if the region dies.
-func (q *auq) drain() {
+// enqueue while the flush holds the gate. Returns false if the region died
+// first: the caller's flush must then abort, because truncating the WAL
+// with tasks still pending would destroy their only replay source.
+func (q *auq) drain() bool {
 	for q.pending.Load() > 0 {
-		if q.killed.Load() || q.ctx.Server.Crashed() {
-			return
+		if q.killed.Load() || q.ctx.Server.Crashed() || q.ctx.Region.Store().Closed() {
+			return false
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
+	return true
 }
 
 // kill tears the queue down: workers exit and pending tasks are dropped.
@@ -172,8 +218,13 @@ func (q *auq) processBatch(batch []task) {
 			}
 			return
 		}
-		if q.killed.Load() || q.ctx.Server.Crashed() {
-			return // dropped; WAL replay reconstructs it
+		if q.killed.Load() || q.ctx.Server.Crashed() || q.ctx.Region.Store().Closed() {
+			// Dropped; WAL replay reconstructs it. The store check covers a
+			// region a balancer move or decommission closed underneath a
+			// straggler enqueue that resurrected this queue after kill —
+			// without it the batch would retry against the closed store
+			// forever and its pending count would never converge.
+			return
 		}
 		time.Sleep(backoff)
 		if backoff < 20*time.Millisecond {

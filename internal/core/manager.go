@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diffindex/internal/cluster"
@@ -24,6 +25,15 @@ type ManagerOptions struct {
 	// region-batched index applies — the micro-batching bound K. 1
 	// disables batching. Defaults to 16.
 	APSBatch int
+	// MaxBacklog, when > 0, is the AUQ admission-control cap: a region's
+	// pending asynchronous index work may not exceed it. An arrival that
+	// would is SHED TO SYNC — its index maintenance runs inline on the
+	// writer, degrading that put to the synchronous path. Shedding bounds
+	// both the backlog and index staleness (an admitted entry never waits
+	// behind more than MaxBacklog predecessors), trading write latency for
+	// them exactly as the scheme table (Table 1) predicts. 0 disables the
+	// cap: the queue blocks at QueueCapacity as before.
+	MaxBacklog int
 	// StalenessSampleEvery samples every Nth AUQ completion into the
 	// staleness histogram — the paper samples 0.1% of inserted entries
 	// (§8.2). Defaults to 1 (sample everything; experiments that need the
@@ -47,6 +57,14 @@ type ManagerOptions struct {
 func (o ManagerOptions) withDefaults() ManagerOptions {
 	if o.QueueCapacity <= 0 {
 		o.QueueCapacity = 4096
+	}
+	if o.MaxBacklog > 0 {
+		// With admission control on, the channel IS the cap: admitted sends
+		// (pending ≤ MaxBacklog) never block, while the shed path's
+		// can't-apply-inline fallback and WAL-replay refill block at the cap
+		// instead of growing the backlog past it — recovery gets
+		// backpressure, not an exemption.
+		o.QueueCapacity = o.MaxBacklog
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2
@@ -84,6 +102,13 @@ type Manager struct {
 	// apsBatch records the size of every APS micro-batch one worker
 	// drained and applied together.
 	apsBatch *metrics.Histogram
+	// shedTotal counts AUQ arrivals shed to the synchronous path by the
+	// MaxBacklog admission cap, across all regions.
+	shedTotal atomic.Int64
+	// replayInflight counts replayed cells whose background re-dispatch
+	// (OpenRegion's OnReplay loop) has not finished yet; QueueDepth includes
+	// it so convergence waits cover work that is not yet back in an AUQ.
+	replayInflight atomic.Int64
 
 	// reg is the cluster-wide metrics registry; staleness and apsBatch are
 	// registry-owned histograms, so the legacy accessors and
@@ -295,7 +320,11 @@ func (m *Manager) clientFor(name string) *cluster.Client {
 	return cl
 }
 
-// auqFor returns (creating if needed) the AUQ of a region.
+// auqFor returns (creating if needed) the AUQ of a region. A straggler
+// enqueue racing a region close (balancer move, decommission, merge) must
+// not resurrect the killed queue: the work it carries is reconstructed by
+// WAL replay at the region's new host, so it gets a dead stub that drops
+// the task instead of a live queue no close will ever tear down.
 func (m *Manager) auqFor(ctx cluster.RegionCtx) *auq {
 	// The queue outlives the operation that created it: never retain the
 	// originating operation's trace in the queue's context.
@@ -304,6 +333,11 @@ func (m *Manager) auqFor(ctx cluster.RegionCtx) *auq {
 	defer m.mu.Unlock()
 	q, ok := m.auqs[ctx.Region]
 	if !ok {
+		if ctx.Region.Store().Closed() {
+			q = &auq{m: m, ctx: ctx}
+			q.killed.Store(true)
+			return q
+		}
 		q = newAUQ(m, ctx)
 		m.auqs[ctx.Region] = q
 	}
@@ -323,12 +357,30 @@ func (m *Manager) dropAUQ(region *cluster.Region) *auq {
 func (m *Manager) QueueDepth() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var total int64
+	total := m.replayInflight.Load()
 	for _, q := range m.auqs {
 		total += q.depth()
 	}
 	return total
 }
+
+// MaxRegionQueueDepth returns the largest single-region AUQ backlog — with
+// admission control on (MaxBacklog > 0) it must never exceed the cap.
+func (m *Manager) MaxRegionQueueDepth() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max int64
+	for _, q := range m.auqs {
+		if d := q.depth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ShedTotal counts the AUQ arrivals degraded to synchronous index
+// maintenance by the MaxBacklog admission cap.
+func (m *Manager) ShedTotal() int64 { return m.shedTotal.Load() }
 
 // WaitForConvergence blocks until the AUQs are empty or the timeout
 // elapses, reporting whether convergence was reached.

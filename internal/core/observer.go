@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"diffindex/internal/cluster"
 	"diffindex/internal/kv"
 	"diffindex/internal/metrics"
 )
+
+// errDrainAborted aborts a flush whose pre-flush AUQ drain could not finish
+// because the region died underneath it (§5.3: the flush must not truncate
+// the WAL record of still-pending index work).
+var errDrainAborted = errors.New("core: flush aborted, AUQ drain interrupted by region close")
 
 // observer is the per-table coprocessor (§7's SyncFullObserver,
 // SyncInsertObserver and AsyncObserver folded into one dispatcher): it
@@ -173,9 +179,9 @@ func (o *observer) syncInsert(ctx cluster.RegionCtx, def IndexDef, t task) {
 // runs while the region's write gate is held exclusively (intake paused)
 // and waits until the region's AUQ is empty, so no pending request refers
 // to data about to be flushed (PR(Flushed) = ∅).
-func (o *observer) PreFlush(ctx cluster.RegionCtx) {
+func (o *observer) PreFlush(ctx cluster.RegionCtx) error {
 	if o.m.opts.DisableDrainOnFlush {
-		return // ablation mode:§5.3's PR(Flushed) = ∅ invariant is broken
+		return nil // ablation mode:§5.3's PR(Flushed) = ∅ invariant is broken
 	}
 	o.m.mu.Lock()
 	q, ok := o.m.auqs[ctx.Region]
@@ -187,9 +193,24 @@ func (o *observer) PreFlush(ctx cluster.RegionCtx) {
 		o.m.reg.Counter("diffindex_flush_drains_total", metrics.L("table", table)).Inc()
 		o.m.reg.Counter("diffindex_flush_drain_tasks_total", metrics.L("table", table)).Add(q.depth())
 		drainStart := time.Now()
-		q.drain()
+		drained := q.drain()
 		o.m.stageHist(metrics.StageFlushDrain, table).RecordDuration(time.Since(drainStart))
+		if !drained {
+			// The region died (crash, move, decommission) before the queue
+			// emptied. Aborting keeps the undrained tasks' base cells in the
+			// WAL, where replay at the region's next host reconstructs them.
+			return errDrainAborted
+		}
 	}
+	return nil
+}
+
+// ReplayStarted marks n replayed cells as in flight toward re-enqueue:
+// OpenRegion dispatches its OnReplay loop in the background, and until the
+// returned func runs, convergence waits must not treat the AUQs as drained.
+func (o *observer) ReplayStarted(n int) func() {
+	o.m.replayInflight.Add(int64(n))
+	return func() { o.m.replayInflight.Add(-int64(n)) }
 }
 
 // OnReplay re-enqueues every replayed base cell into the AUQ (§5.3): some

@@ -77,11 +77,11 @@ func TestPipelineAtomicWithFlush(t *testing.T) {
 
 	// The pre-flush hook asserts that every cell currently in the store has
 	// its matching "queue entry" — i.e. no pipeline was split by the flush.
-	s.RegisterPreFlush(func() {
+	s.RegisterPreFlush(func() error {
 		results, err := s.Scan(nil, nil, kv.MaxTimestamp, 0)
 		if err != nil {
 			t.Error(err)
-			return
+			return nil
 		}
 		mu.Lock()
 		defer mu.Unlock()
@@ -90,6 +90,7 @@ func TestPipelineAtomicWithFlush(t *testing.T) {
 				t.Errorf("flush observed cell %q without its enqueue", res.Key)
 			}
 		}
+		return nil
 	})
 
 	stop := make(chan struct{})

@@ -81,7 +81,7 @@ type Store struct {
 	compWorkers int
 	compLastErr string
 
-	preFlush    []func()             // coprocessor hooks run inside the write gate
+	preFlush    []func() error       // coprocessor hooks run inside the write gate
 	postCompact []func(CompactionGC) // hooks fed each round's GC'd cells
 
 	stats struct {
@@ -288,8 +288,11 @@ func parseTableNum(dir, name string) (uint64, bool) {
 
 // RegisterPreFlush adds a hook run at the start of every flush, while new
 // writes are paused and before the memtable is swapped — the coprocessor
-// point where Diff-Index drains the AUQ (§5.3).
-func (s *Store) RegisterPreFlush(hook func()) {
+// point where Diff-Index drains the AUQ (§5.3). A hook error aborts the
+// flush before anything is swapped or truncated: if the drain cannot
+// complete (the region is closing underneath the flush), truncating the WAL
+// would destroy the only record of the undrained work.
+func (s *Store) RegisterPreFlush(hook func() error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.preFlush = append(s.preFlush, hook)
@@ -445,7 +448,10 @@ func (s *Store) Flush() error {
 		return ErrClosed
 	}
 	for _, hook := range hooks {
-		hook()
+		if err := hook(); err != nil {
+			s.writeGate.Unlock()
+			return err
+		}
 	}
 	s.mu.Lock()
 	old := s.mem
@@ -687,6 +693,55 @@ func (s *Store) Scan(start, end []byte, ts kv.Timestamp, limit int) ([]ScanResul
 	return out, nil
 }
 
+// ScanAll returns every version of every user key in [start, end) with
+// timestamp ≤ ts — puts and tombstones alike. Region copies (split/merge
+// streaming) use it: a copied region must be a faithful replica of the
+// source's MVCC history, not just its visible surface. Tombstones must
+// survive the copy so late-redelivered index cells (at-least-once delivery)
+// stay masked, and older base versions must survive so redelivered AUQ
+// tasks can still resolve their pre-image at ts−δ (§4.3, §5.3) — collapsing
+// to per-key winners would make the pre-image read miss and silently skip
+// the superseded-entry delete.
+func (s *Store) ScanAll(start, end []byte, ts kv.Timestamp) ([]kv.Cell, error) {
+	s.stats.scans.Add(1)
+	mems, tables, release, err := s.components()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	iters := make([]internalIterator, 0, len(mems)+len(tables))
+	for _, m := range mems {
+		iters = append(iters, m.Iterator())
+	}
+	for _, h := range tables {
+		iters = append(iters, h.r.Iterator())
+	}
+	merged := newMergeIterator(iters)
+	merged.Seek(kv.SeekKey(start, ts))
+
+	var out []kv.Cell
+	for merged.Valid() {
+		c := merged.Cell()
+		if end != nil && bytes.Compare(c.Key, end) >= 0 {
+			break
+		}
+		if c.Ts > ts {
+			merged.Next()
+			continue
+		}
+		// Identical internal keys across components were already deduplicated
+		// by the merge iterator (newest component wins), so every cell here is
+		// a distinct (key, ts, kind) version worth copying.
+		out = append(out, c.Clone())
+		merged.Next()
+	}
+	if err := merged.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Stats returns a snapshot of the store's operation counters.
 func (s *Store) Stats() Stats {
 	s.compMu.Lock()
@@ -725,6 +780,15 @@ func (s *Store) TableCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.tables)
+}
+
+// Closed reports whether Close has run. Retry loops holding a reference to
+// a region use it to stop once the region has moved away: further work here
+// is wasted, and the WAL they would have served is replayed at the new host.
+func (s *Store) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
 }
 
 // Close waits for background work and releases every resource. The WAL is

@@ -304,9 +304,10 @@ func TestPreFlushHookPausesWrites(t *testing.T) {
 
 	hookRunning := make(chan struct{})
 	releaseHook := make(chan struct{})
-	s.RegisterPreFlush(func() {
+	s.RegisterPreFlush(func() error {
 		close(hookRunning)
 		<-releaseHook
+		return nil
 	})
 
 	flushDone := make(chan error, 1)

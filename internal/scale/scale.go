@@ -1,0 +1,230 @@
+// Package scale is the open-loop load harness: operations arrive on an
+// independent arrival process (fixed or Poisson interarrivals at a target
+// rate) regardless of how fast the system completes them, so measured
+// latency includes the queueing delay a saturated system builds up — the
+// latency-under-load curve closed-loop harnesses (a fixed worker pool, as in
+// internal/workload) systematically understate, because their arrival rate
+// collapses to the service rate the moment the system slows down
+// (coordinated omission).
+//
+// The engine is deterministic by construction: time comes from an injected
+// Clock (tests use VirtualClock, whose Sleep advances time without waiting),
+// arrival schedules come from a seeded PRNG, and admission decisions are
+// made only on the dispatcher goroutine — so given a seed and a gated
+// executor, exactly the same operations are admitted and shed on every run.
+package scale
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffindex/internal/metrics"
+)
+
+// Clock abstracts time for the engine. The wall implementation paces real
+// benchmark runs; VirtualClock makes unit tests instant and deterministic.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real-time clock.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time        { return time.Now() }
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a deterministic clock: Sleep advances it instantly, so an
+// engine driven by it free-runs through its whole schedule without waiting.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at an arbitrary fixed epoch.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: time.Unix(0, 0)}
+}
+
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Arrival selects the interarrival process.
+type Arrival int
+
+const (
+	// Poisson draws exponential interarrivals — memoryless open-loop
+	// arrivals, the standard model for independent clients.
+	Poisson Arrival = iota
+	// Fixed spaces arrivals exactly 1/Rate apart.
+	Fixed
+)
+
+// Config tunes one open-loop run.
+type Config struct {
+	// Rate is the offered arrival rate in operations per second (required).
+	Rate float64
+	// Duration is how long arrivals are generated (required).
+	Duration time.Duration
+	// Arrival selects the interarrival process (default Poisson).
+	Arrival Arrival
+	// MaxInFlight bounds concurrently executing operations (default 64).
+	MaxInFlight int
+	// QueueBound is how many admitted arrivals may WAIT for an execution
+	// slot beyond MaxInFlight. An arrival that finds MaxInFlight+QueueBound
+	// operations outstanding is shed: counted and dropped, never executed —
+	// the load an overloaded open-loop system must reject rather than
+	// buffer without bound. 0 sheds as soon as every slot is busy.
+	QueueBound int
+	// Seed seeds the arrival-schedule PRNG (Poisson draws).
+	Seed int64
+	// Clock injects time; nil means WallClock.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueBound < 0 {
+		c.QueueBound = 0
+	}
+	if c.Clock == nil {
+		c.Clock = WallClock{}
+	}
+	return c
+}
+
+// Result summarizes one open-loop run.
+type Result struct {
+	// Offered is how many arrivals the schedule generated (≈ Rate×Duration).
+	Offered int64
+	// Started is how many arrivals were admitted and executed.
+	Started int64
+	// Completed counts executions that returned nil.
+	Completed int64
+	// Errors counts executions that returned an error.
+	Errors int64
+	// Shed counts arrivals rejected because MaxInFlight+QueueBound
+	// operations were already outstanding.
+	Shed int64
+	// Elapsed is the wall (or virtual) time from first arrival to last
+	// completion.
+	Elapsed time.Duration
+	// Latency is the arrival-to-completion distribution of executed
+	// operations — it includes time spent waiting for an execution slot,
+	// which is the point of open-loop measurement.
+	Latency *metrics.Histogram
+}
+
+// AchievedRate is completed operations per second of elapsed time.
+func (r Result) AchievedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// ShedRate is the fraction of offered arrivals that were shed.
+func (r Result) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// Run generates arrivals per cfg and executes op for each admitted one.
+// It returns once every admitted operation has completed.
+//
+// Admission is decided ONLY on the dispatcher goroutine, against an atomic
+// count of outstanding operations: the dispatcher increments it at admission
+// and each operation decrements it at completion. Combined with an injected
+// VirtualClock (whose Sleep never blocks) and an executor whose completions
+// the test controls, the admit/shed sequence is a pure function of the
+// schedule — the deterministic test spine.
+func Run(cfg Config, op func() error) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Latency: metrics.NewHistogram()}
+
+	var (
+		outstanding atomic.Int64
+		completed   atomic.Int64
+		errors      atomic.Int64
+		wg          sync.WaitGroup
+	)
+	// sem is the execution gate: admitted arrivals beyond MaxInFlight wait
+	// here (up to QueueBound of them), and that wait is part of measured
+	// latency.
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	admitLimit := int64(cfg.MaxInFlight + cfg.QueueBound)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interarrival := func() time.Duration {
+		switch cfg.Arrival {
+		case Fixed:
+			return time.Duration(float64(time.Second) / cfg.Rate)
+		default:
+			return time.Duration(rng.ExpFloat64() * float64(time.Second) / cfg.Rate)
+		}
+	}
+
+	start := cfg.Clock.Now()
+	next := interarrival() // first arrival is one interarrival after start
+	for next <= cfg.Duration {
+		// Pace to the arrival instant (independent of service progress:
+		// this sleep never waits for operations — open loop).
+		cfg.Clock.Sleep(start.Add(next).Sub(cfg.Clock.Now()))
+		res.Offered++
+		if outstanding.Load() >= admitLimit {
+			res.Shed++
+			next += interarrival()
+			continue
+		}
+		outstanding.Add(1)
+		res.Started++
+		arrival := start.Add(next)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			err := op()
+			<-sem
+			res.Latency.RecordDuration(cfg.Clock.Now().Sub(arrival))
+			if err != nil {
+				errors.Add(1)
+			} else {
+				completed.Add(1)
+			}
+			outstanding.Add(-1)
+		}()
+		next += interarrival()
+	}
+	wg.Wait()
+	res.Completed = completed.Load()
+	res.Errors = errors.Load()
+	res.Elapsed = cfg.Clock.Now().Sub(start)
+	if res.Elapsed < cfg.Duration {
+		res.Elapsed = cfg.Duration
+	}
+	return res
+}

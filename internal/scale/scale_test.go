@@ -1,0 +1,206 @@
+package scale
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The engine's determinism contract: with a VirtualClock (Sleep advances
+// time instantly — zero wall-clock sleeps anywhere in these tests) and an
+// executor whose completions the test controls, admission and shedding are
+// pure functions of the seeded arrival schedule.
+
+// TestOpenLoopFixedPacing: a fixed-interval schedule at 10 ops/s over 1s
+// offers exactly 10 arrivals, all admitted, and virtual time advances to
+// exactly the configured duration.
+func TestOpenLoopFixedPacing(t *testing.T) {
+	clock := NewVirtualClock()
+	// MaxInFlight ≥ offered: no arrival can ever be shed, regardless of how
+	// goroutine scheduling interleaves completions with the free-running
+	// dispatcher.
+	res := Run(Config{
+		Rate:        10,
+		Duration:    time.Second,
+		Arrival:     Fixed,
+		MaxInFlight: 16,
+		Clock:       clock,
+	}, func() error { return nil })
+
+	if res.Offered != 10 {
+		t.Fatalf("offered = %d, want 10 (fixed 10/s over 1s)", res.Offered)
+	}
+	if res.Started != 10 || res.Shed != 0 {
+		t.Fatalf("started = %d shed = %d, want 10/0", res.Started, res.Shed)
+	}
+	if res.Completed != 10 || res.Errors != 0 {
+		t.Fatalf("completed = %d errors = %d, want 10/0", res.Completed, res.Errors)
+	}
+	if res.Elapsed != time.Second {
+		t.Fatalf("elapsed = %v, want exactly 1s of virtual time", res.Elapsed)
+	}
+	if got := res.Latency.Count(); got != 10 {
+		t.Fatalf("latency samples = %d, want 10", got)
+	}
+}
+
+// TestOpenLoopPoissonDeterminism: the same seed yields the identical
+// schedule (offered count) on every run; a different seed yields a
+// different draw sequence.
+func TestOpenLoopPoissonDeterminism(t *testing.T) {
+	run := func(seed int64) Result {
+		// MaxInFlight ≥ any plausible offered count: nothing is shed, so
+		// the whole result is schedule-determined.
+		return Run(Config{
+			Rate:        500,
+			Duration:    time.Second,
+			Arrival:     Poisson,
+			Seed:        seed,
+			MaxInFlight: 4096,
+			Clock:       NewVirtualClock(),
+		}, func() error { return nil })
+	}
+	a, b := run(42), run(42)
+	if a.Offered == 0 {
+		t.Fatal("poisson schedule offered no arrivals")
+	}
+	if a.Offered != b.Offered || a.Started != b.Started || a.Shed != b.Shed {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Shed != 0 || a.Started != a.Offered {
+		t.Fatalf("unexpected shedding with unbounded slots: %+v", a)
+	}
+	// ~500 expected; 5σ ≈ 112. A violation means the process is not
+	// Poisson at the configured rate.
+	if a.Offered < 350 || a.Offered > 650 {
+		t.Fatalf("offered = %d, implausible for Poisson(500)", a.Offered)
+	}
+	if c := run(43); c.Offered == a.Offered {
+		t.Logf("seeds 42/43 coincidentally offered equal counts (%d) — suspicious but possible", c.Offered)
+	}
+}
+
+// TestOpenLoopShedAtBound: operations that never complete (gated executor)
+// make outstanding monotone, so admission is exact: MaxInFlight=2 plus
+// QueueBound=1 admits exactly 3 of 10 arrivals and sheds the other 7.
+func TestOpenLoopShedAtBound(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 3)
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(Config{
+			Rate:        10,
+			Duration:    time.Second,
+			Arrival:     Fixed,
+			MaxInFlight: 2,
+			QueueBound:  1,
+			Clock:       NewVirtualClock(),
+		}, func() error {
+			started <- struct{}{}
+			<-gate
+			return nil
+		})
+	}()
+	// Exactly MaxInFlight operations reach execution; the QueueBound-th
+	// admitted arrival waits for a slot and must not have started.
+	<-started
+	<-started
+	select {
+	case <-started:
+		t.Fatal("third operation executed despite MaxInFlight=2")
+	default:
+	}
+	close(gate) // release; the queued arrival now runs too
+	res := <-done
+
+	if res.Offered != 10 {
+		t.Fatalf("offered = %d, want 10", res.Offered)
+	}
+	if res.Started != 3 {
+		t.Fatalf("started = %d, want 3 (2 in flight + 1 queued)", res.Started)
+	}
+	if res.Shed != 7 {
+		t.Fatalf("shed = %d, want 7", res.Shed)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed = %d, want 3", res.Completed)
+	}
+	if res.ShedRate() != 0.7 {
+		t.Fatalf("shed rate = %v, want 0.7", res.ShedRate())
+	}
+}
+
+// TestOpenLoopZeroQueueBound: with QueueBound=0 every arrival beyond
+// MaxInFlight is shed immediately.
+func TestOpenLoopZeroQueueBound(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(Config{
+			Rate:        5,
+			Duration:    time.Second,
+			Arrival:     Fixed,
+			MaxInFlight: 1,
+			Clock:       NewVirtualClock(),
+		}, func() error {
+			started <- struct{}{}
+			<-gate
+			return nil
+		})
+	}()
+	<-started
+	close(gate)
+	res := <-done
+	if res.Offered != 5 || res.Started != 1 || res.Shed != 4 {
+		t.Fatalf("offered/started/shed = %d/%d/%d, want 5/1/4", res.Offered, res.Started, res.Shed)
+	}
+}
+
+// TestOpenLoopErrors: failing operations count as Errors, not Completed,
+// and still free their slot.
+func TestOpenLoopErrors(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	res := Run(Config{
+		Rate:        10,
+		Duration:    time.Second,
+		Arrival:     Fixed,
+		MaxInFlight: 1,
+		Clock:       NewVirtualClock(),
+	}, func() error {
+		calls++
+		if calls%2 == 0 {
+			return boom
+		}
+		return nil
+	})
+	// MaxInFlight=1 with instant ops and a free-running clock: sheds are
+	// possible only if a slot appears busy, which instant completion before
+	// the next arrival prevents — the dispatcher launches the goroutine but
+	// the NEXT admission check happens after the virtual sleep, during
+	// which the op may not have run yet. So only assert conservation.
+	if res.Offered != 10 {
+		t.Fatalf("offered = %d, want 10", res.Offered)
+	}
+	if res.Started != res.Completed+res.Errors {
+		t.Fatalf("started (%d) != completed (%d) + errors (%d)", res.Started, res.Completed, res.Errors)
+	}
+	if res.Started+res.Shed != res.Offered {
+		t.Fatalf("started (%d) + shed (%d) != offered (%d)", res.Started, res.Shed, res.Offered)
+	}
+	if res.Errors == 0 && res.Started > 1 {
+		t.Fatalf("no errors recorded despite failing op (started=%d)", res.Started)
+	}
+}
+
+// TestVirtualClockSleep: Sleep advances Now by exactly d and never blocks.
+func TestVirtualClockSleep(t *testing.T) {
+	c := NewVirtualClock()
+	t0 := c.Now()
+	c.Sleep(3 * time.Second)
+	c.Sleep(-time.Second) // negative sleeps are no-ops
+	if got := c.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("virtual time advanced %v, want 3s", got)
+	}
+}

@@ -1,0 +1,92 @@
+package scale
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"diffindex"
+	"diffindex/internal/workload"
+)
+
+// WorkloadConfig binds the open-loop engine to the YCSB-style item workload
+// (internal/workload): which operations arrive and over which key domain.
+type WorkloadConfig struct {
+	// Records is the loaded item count (key-chooser domain).
+	Records int64
+	// Mix gives the probability of each op kind; unassigned mass goes to
+	// OpUpdate, as in the closed-loop runner.
+	Mix map[workload.OpKind]float64
+	// RangeSelectivity sets the key-space fraction each range query covers.
+	RangeSelectivity float64
+	// Distribution is the key chooser ("uniform", "zipfian", "latest").
+	Distribution string
+	// Seed seeds the op/key choosers (independent of Config.Seed, which
+	// drives the arrival schedule).
+	Seed int64
+}
+
+// RunWorkload drives the item workload open-loop against a DB: arrivals per
+// cfg, operations per wcfg. Unlike workload.Run's closed loop (each thread
+// issues the next op only after the previous completes), arrival times here
+// never depend on completions, so the result's latency histogram is a true
+// latency-under-load measurement at the offered rate.
+func RunWorkload(db *diffindex.DB, cfg Config, wcfg WorkloadConfig) Result {
+	if wcfg.Records <= 0 {
+		wcfg.Records = 1
+	}
+	// One client per execution slot: an operation picks up whichever client
+	// is free. Clients are just routing handles; pooling them bounds the
+	// simnet node count at MaxInFlight.
+	cfg = cfg.withDefaults()
+	pool := make(chan *diffindex.Client, cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		pool <- db.NewClient(fmt.Sprintf("openloop-%d", i))
+	}
+
+	// The choosers are not concurrency-safe; operations draw their kind and
+	// key under one lock. Draw order still follows admission order, which
+	// the dispatcher serializes.
+	var (
+		chooseMu  sync.Mutex
+		rng       = rand.New(rand.NewSource(wcfg.Seed))
+		chooser   = workload.NewGenerator(wcfg.Distribution, wcfg.Records, wcfg.Seed+15485863)
+		updateGen atomic.Int64
+	)
+
+	op := func() error {
+		chooseMu.Lock()
+		kind := workload.PickOp(rng, wcfg.Mix)
+		item := chooser.Next()
+		chooseMu.Unlock()
+
+		cl := <-pool
+		defer func() { pool <- cl }()
+		var err error
+		switch kind {
+		case workload.OpUpdate:
+			gen := updateGen.Add(1)
+			_, err = cl.Put(workload.TableName, workload.ItemKey(item), diffindex.Cols{
+				workload.TitleColumn: workload.UpdatedTitleValue(item, gen),
+			})
+		case workload.OpIndexRead:
+			_, err = cl.GetByIndex(workload.TableName, []string{workload.TitleColumn}, workload.TitleValue(item))
+		case workload.OpRangeRead:
+			span := int64(wcfg.RangeSelectivity * float64(wcfg.Records))
+			if span < 1 {
+				span = 1
+			}
+			lo := item
+			if lo+span > wcfg.Records {
+				lo = wcfg.Records - span
+			}
+			_, err = cl.RangeByIndex(workload.TableName, []string{workload.PriceColumn},
+				workload.PriceValue(lo), workload.PriceValue(lo+span-1), 0)
+		case workload.OpRowRead:
+			_, err = cl.GetRow(workload.TableName, workload.ItemKey(item))
+		}
+		return err
+	}
+	return Run(cfg, op)
+}

@@ -196,6 +196,10 @@ func Run(db *diffindex.DB, cfg RunConfig) Result {
 	return res
 }
 
+// PickOp samples an op kind from the mix — shared with the open-loop
+// harness (internal/scale) so both loops interpret Mix identically.
+func PickOp(rng *rand.Rand, mix map[OpKind]float64) OpKind { return pickOp(rng, mix) }
+
 // pickOp samples an op kind from the mix; unassigned probability mass goes
 // to OpUpdate.
 func pickOp(rng *rand.Rand, mix map[OpKind]float64) OpKind {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -85,12 +86,80 @@ func TestScrambledZipfianSpreads(t *testing.T) {
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
-	a := NewGenerator("zipfian", 500, 42)
-	b := NewGenerator("zipfian", 500, 42)
-	for i := 0; i < 100; i++ {
-		if a.Next() != b.Next() {
-			t.Fatal("same-seed generators diverged")
+	for _, d := range []string{"uniform", "zipfian", "latest"} {
+		a := NewGenerator(d, 500, 42)
+		b := NewGenerator(d, 500, 42)
+		for i := 0; i < 10000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%s: same-seed generators diverged at draw %d", d, i)
+			}
 		}
+	}
+}
+
+// TestGeneratorGoldenSequences pins the exact first draws of every
+// distribution for a fixed seed. Seed determinism is what makes chaos
+// schedules and benchmark sweeps reproducible ("same seed, same keys"), so
+// any change to a chooser's draw sequence — reordering its internal PRNG
+// consumption, changing the scramble hash, touching the zipfian constants —
+// must show up as a deliberate golden update in review, not as silent drift.
+func TestGeneratorGoldenSequences(t *testing.T) {
+	golden := map[string][]int64{
+		"uniform": {675, 411, 760, 9, 657, 261, 247, 208, 868, 184, 314, 41},
+		"zipfian": {30, 202, 842, 611, 202, 30, 408, 30, 30, 816, 145, 611},
+		"latest":  {991, 999, 950, 997, 999, 991, 755, 991, 991, 931, 864, 997},
+	}
+	for d, want := range golden {
+		g := NewGenerator(d, 1000, 42)
+		for i, w := range want {
+			if got := g.Next(); got != w {
+				t.Errorf("%s draw %d = %d, want %d (seeded sequence drifted)", d, i, got, w)
+			}
+		}
+	}
+}
+
+// TestScrambledZipfianHotspotSkew checks the scrambled zipfian keeps the
+// zipfian *popularity mass* (a small hot set dominates) while spreading that
+// hot set across the key space. θ=0.99 over n=10000 gives the most popular
+// item 1/ζ_n(θ) ≈ 9.8% of draws; the top 1% of keys should carry about half
+// the mass (uniform would give them 1%).
+func TestScrambledZipfianHotspotSkew(t *testing.T) {
+	const (
+		n     = 10000
+		draws = 200000
+	)
+	g := NewScrambledZipfian(n, 7)
+	counts := make(map[int64]int)
+	for i := 0; i < draws; i++ {
+		v := g.Next()
+		if v < 0 || v >= n {
+			t.Fatalf("scrambled zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+
+	if top := float64(freqs[0]) / draws; top < 0.05 || top > 0.15 {
+		t.Errorf("hottest key drew %.1f%% of ops, want ≈9.8%% (zipfian mass lost)", top*100)
+	}
+	topMass := 0
+	for i := 0; i < n/100 && i < len(freqs); i++ {
+		topMass += freqs[i]
+	}
+	if m := float64(topMass) / draws; m < 0.4 {
+		t.Errorf("top 1%% of keys drew only %.1f%% of ops, want ≈53%% (skew too flat)", m*100)
+	} else if m > 0.7 {
+		t.Errorf("top 1%% of keys drew %.1f%% of ops, want ≈53%% (skew too sharp)", m*100)
+	}
+	// The scramble must spread the hot set: a zipfian this skewed still
+	// touches most of a 10k key space in 200k draws once hashed.
+	if len(counts) < n/2 {
+		t.Errorf("only %d/%d distinct keys drawn (hot set clustered, not scrambled)", len(counts), n)
 	}
 }
 
